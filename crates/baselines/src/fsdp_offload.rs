@@ -1,0 +1,215 @@
+//! PyTorch FSDP with CPU offloading.
+//!
+//! FSDP wraps the model into per-layer units; with `cpu_offload=True` each
+//! unit's parameters live on the CPU and are copied in for forward and
+//! backward, gradients are copied out, and the optimizer step runs with the
+//! framework-native CPU Adam, unit by unit, **synchronously** — no
+//! compute/transfer overlap, no fused optimizer, no pinned fast path. This
+//! is the configuration the paper measures at under 15 TFLOPS (§5.2).
+
+use llm_model::flops::TrainingFlops;
+use llm_model::memory::ModelStateMemory;
+use llm_model::workload::{ExecutionPlan, Workload};
+use superchip_sim::collective::CollectiveCost;
+use superchip_sim::prelude::*;
+
+use superoffload::casting::CastPlacement;
+use superoffload::costs::{ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
+use superoffload::report::TrainReport;
+use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+
+use crate::common::ITERATIONS;
+
+/// Simulates FSDP-CPU-Offload on `ranks` GPUs.
+pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
+    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
+    let system = "fsdp-offload";
+    if !workload.global_batch.is_multiple_of(ranks) {
+        return TrainReport::oom(system);
+    }
+    let chip = &cluster.node.chip;
+    let params = workload.config.param_count();
+    let states = ModelStateMemory::for_params(params);
+    let n = ranks as u64;
+    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
+    let layers = workload.config.layers.max(1);
+
+    let rank_batch = workload.global_batch / ranks;
+    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+
+    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    // GPU: two units' parameters at a time (current + prefetch).
+    let unit_params = params / layers as u64;
+    let gpu_resident = 2 * 2 * unit_params * 2;
+    if gpu_resident > gpu_cap {
+        return TrainReport::oom(system);
+    }
+    let cpu_resident = (states.total()) / n;
+    if cpu_resident > cpu_cap {
+        return TrainReport::oom(system);
+    }
+    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
+        return TrainReport::oom(system);
+    };
+
+    let flops = TrainingFlops::for_iteration(
+        &workload.config,
+        rank_batch,
+        workload.seq,
+        plan.checkpointing,
+    );
+    let compute = ComputeTimes::new(&chip.gpu, &flops, plan.micro_steps());
+    let overhead = SimTime::from_secs(OP_OVERHEAD_FRAMEWORK);
+    // Everything moves through pageable host memory (FSDP CPU offload does
+    // not pin its parameter storage).
+    let cast = CastPlacement::CpuCastMoveFp16Pageable;
+    let shard = |elems: u64| (elems / n).max(1);
+
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource("gpu");
+    let cpu = sim.add_resource("cpu");
+    let d2h = sim.add_resource("c2c-d2h");
+    let h2d = sim.add_resource("c2c-h2d");
+    let net = sim.add_resource("fabric");
+
+    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
+        let mut gates = Vec::new();
+        let mut prev_gate: Option<TaskId> = None;
+        for _ in 0..ITERATIONS {
+            let mut chain: Option<TaskId> = prev_gate;
+            for m in 0..plan.micro_steps() {
+                // Per-unit synchronous pipeline: fetch -> compute -> (bwd:
+                // grad out). No overlap: each step waits for the previous.
+                for l in 0..layers {
+                    let fetch = sim.add_task(
+                        TaskSpec::transfer(
+                            h2d,
+                            chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
+                        )
+                        .with_label(format!("unit-fetch-fwd[{l}]"))
+                        .after_all(chain),
+                    )?;
+                    let fwd = sim.add_task(
+                        TaskSpec::compute(
+                            gpu,
+                            compute.fwd_per_micro / layers as f64 + overhead,
+                        )
+                        .with_label(format!("unit-fwd[{l}]"))
+                        .after(fetch),
+                    )?;
+                    chain = Some(fwd);
+                }
+                for l in (0..layers).rev() {
+                    let fetch = sim.add_task(
+                        TaskSpec::transfer(
+                            h2d,
+                            chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
+                        )
+                        .with_label(format!("unit-fetch-bwd[{l}]"))
+                        .after_all(chain),
+                    )?;
+                    let bwd = sim.add_task(
+                        TaskSpec::compute(
+                            gpu,
+                            compute.bwd_per_micro / layers as f64 + overhead,
+                        )
+                        .with_label(format!("unit-bwd[{l}]"))
+                        .after(fetch),
+                    )?;
+                    let mut dep = bwd;
+                    if ranks > 1 && m + 1 == plan.micro_steps() {
+                        dep = sim.add_task(
+                            TaskSpec::collective(
+                                net,
+                                coll.reduce_scatter(2 * unit_params) + overhead,
+                            )
+                            .with_label(format!("unit-reduce[{l}]"))
+                            .after(bwd),
+                        )?;
+                    }
+                    let out = sim.add_task(
+                        TaskSpec::transfer(
+                            d2h,
+                            cast.one_way_time(chip, shard(unit_params)) + overhead,
+                        )
+                        .with_label(format!("unit-grad-out[{l}]"))
+                        .after(dep),
+                    )?;
+                    chain = Some(out);
+                }
+            }
+            // Optimizer: framework-native CPU Adam, one unit at a time on a
+            // single thread, fully serialized behind the backward pass.
+            for l in 0..layers {
+                let step = sim.add_task(
+                    TaskSpec::compute(
+                        cpu,
+                        OptimizerImpl::PtCpuSingleThread.step_time(&chip.cpu, shard(unit_params))
+                            + overhead,
+                    )
+                    .with_label(format!("unit-step[{l}]"))
+                    .after_all(chain),
+                )?;
+                chain = Some(step);
+            }
+            let gate = sim.add_task(
+                TaskSpec::sync(gpu).with_label("iter-gate").after_all(chain),
+            )?;
+            prev_gate = Some(gate);
+            gates.push(gate);
+        }
+        Ok(gates)
+    };
+
+    let gates = match build(&mut sim) {
+        Ok(g) => g,
+        Err(_) => return TrainReport::oom(system),
+    };
+    let trace = match sim.run() {
+        Ok(t) => t,
+        Err(_) => return TrainReport::oom(system),
+    };
+    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::single_chip_cluster;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn fits_large_models_but_is_very_slow() {
+        // Fig. 10: FSDP-Offload consistently under ~15 TFLOPS.
+        let c = single_chip_cluster(&presets::gh200_chip());
+        for name in ["5B", "13B"] {
+            let r = simulate(&c, 1, &wl(name, 8));
+            assert!(r.feasible(), "{name} should fit");
+            assert!(r.tflops < 30.0, "{name}: expected very low TFLOPS, got {}", r.tflops);
+        }
+    }
+
+    #[test]
+    fn slowest_of_all_offloaders() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        let w = wl("5B", 8);
+        let fsdp = simulate(&c, 1, &w);
+        let zi = crate::zero_infinity::simulate(&c, 1, &w);
+        let zo = crate::zero_offload::simulate(&c, 1, &w);
+        assert!(fsdp.tflops < zi.tflops);
+        assert!(fsdp.tflops < zo.tflops);
+    }
+
+    #[test]
+    fn gpu_mostly_idle() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        let r = simulate(&c, 1, &wl("5B", 8));
+        assert!(r.gpu_util < 0.5, "util {}", r.gpu_util);
+    }
+}

@@ -1,0 +1,234 @@
+//! ZeRO-2 and ZeRO-3 sharded data parallelism (GPU-only).
+//!
+//! ZeRO-2 shards gradients and optimizer states but replicates FP16
+//! parameters; ZeRO-3 shards parameters too, at the cost of all-gathering
+//! them for every forward and backward pass.
+
+use llm_model::flops::TrainingFlops;
+use llm_model::memory::ModelStateMemory;
+use llm_model::workload::{ExecutionPlan, Workload};
+use superchip_sim::collective::CollectiveCost;
+use superchip_sim::prelude::*;
+
+use superoffload::bucket::BucketPlan;
+use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
+use superoffload::report::TrainReport;
+use superoffload::schedule::{finalize_report, GPU_USABLE};
+
+use crate::common::ITERATIONS;
+
+/// Which ZeRO stage to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZeroStage {
+    /// Gradients + optimizer states sharded.
+    Two,
+    /// Parameters sharded as well.
+    Three,
+}
+
+impl ZeroStage {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZeroStage::Two => "zero-2",
+            ZeroStage::Three => "zero-3",
+        }
+    }
+}
+
+/// DeepSpeed's default reduce bucket size.
+const ZERO_BUCKET_BYTES: u64 = 200 * 1000 * 1000;
+
+/// Simulates ZeRO-2/3 on `ranks` GPUs.
+pub fn simulate(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    stage: ZeroStage,
+) -> TrainReport {
+    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
+    let system = stage.name();
+    if !workload.global_batch.is_multiple_of(ranks) {
+        return TrainReport::oom(system);
+    }
+    let chip = &cluster.node.chip;
+    let params = workload.config.param_count();
+    let states = ModelStateMemory::for_params(params);
+    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
+
+    let rank_batch = workload.global_batch / ranks;
+    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+
+    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let n = ranks as u64;
+    let gpu_resident = match stage {
+        // Full FP16 params + full FP16 gradients (held until the reduction
+        // drains) + sharded optimizer states.
+        ZeroStage::Two => {
+            states.fp16_params
+                + states.fp16_grads
+                + 2 * ZERO_BUCKET_BYTES
+                + states.optimizer_states() / n
+        }
+        // Everything sharded + a gathered working window.
+        ZeroStage::Three => {
+            let window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
+            states.total() / n + window + 2 * ZERO_BUCKET_BYTES
+        }
+    };
+    if gpu_resident > gpu_cap {
+        return TrainReport::oom(system);
+    }
+    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
+        return TrainReport::oom(system);
+    };
+
+    let flops = TrainingFlops::for_iteration(
+        &workload.config,
+        rank_batch,
+        workload.seq,
+        plan.checkpointing,
+    );
+    let compute = ComputeTimes::new(&chip.gpu, &flops, plan.micro_steps());
+    let overhead = SimTime::from_secs(OP_OVERHEAD_TUNED);
+    let buckets = BucketPlan::new(params, ZERO_BUCKET_BYTES, 0);
+    let allgather = coll.all_gather(states.fp16_params / n.max(1));
+
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource("gpu");
+    let cpu = sim.add_resource("cpu");
+    let net = sim.add_resource("fabric");
+
+    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
+        let mut gates = Vec::new();
+        let mut prev_gate: Option<TaskId> = None;
+        for _ in 0..ITERATIONS {
+            let mut iter_end: Vec<TaskId> = Vec::new();
+            let mut last: Option<TaskId> = None;
+            for m in 0..plan.micro_steps() {
+                let mut deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
+                if stage == ZeroStage::Three && ranks > 1 {
+                    let ag = sim.add_task(
+                        TaskSpec::collective(net, allgather + overhead)
+                            .with_label("allgather-fwd")
+                            .after_all(deps.iter().copied()),
+                    )?;
+                    deps = vec![ag];
+                }
+                let fwd = sim.add_task(
+                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
+                        .with_label("fwd")
+                        .after_all(deps),
+                )?;
+                let mut bwd_start = fwd;
+                if stage == ZeroStage::Three && ranks > 1 {
+                    bwd_start = sim.add_task(
+                        TaskSpec::collective(net, allgather + overhead)
+                            .with_label("allgather-bwd")
+                            .after(fwd),
+                    )?;
+                }
+                let mut prev_chunk = bwd_start;
+                for bi in 0..buckets.num_buckets {
+                    let elems = buckets.bucket_elems(bi);
+                    let frac = elems as f64 / params as f64;
+                    let chunk = sim.add_task(
+                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
+                            .with_label(format!("bwd[{bi}]"))
+                            .after(prev_chunk),
+                    )?;
+                    prev_chunk = chunk;
+                    if ranks > 1 && m + 1 == plan.micro_steps() {
+                        let rs = sim.add_task(
+                            TaskSpec::collective(net, coll.reduce_scatter(2 * elems) + overhead)
+                                .with_label(format!("reduce-scatter[{bi}]"))
+                                .after(chunk),
+                        )?;
+                        iter_end.push(rs);
+                    }
+                }
+                last = Some(prev_chunk);
+            }
+            // Sharded GPU optimizer step.
+            let step = sim.add_task(
+                TaskSpec::compute(gpu, gpu_optimizer_time(&chip.gpu, params / n) + overhead)
+                    .with_label("step-gpu")
+                    .after_all(iter_end.iter().copied().chain(last)),
+            )?;
+            // ZeRO-2: all-gather updated FP16 params back to every rank.
+            let gate_dep = if stage == ZeroStage::Two && ranks > 1 {
+                sim.add_task(
+                    TaskSpec::collective(net, allgather + overhead)
+                        .with_label("allgather-params")
+                        .after(step),
+                )?
+            } else {
+                step
+            };
+            let gate = sim.add_task(TaskSpec::sync(gpu).with_label("iter-gate").after(gate_dep))?;
+            prev_gate = Some(gate);
+            gates.push(gate);
+        }
+        Ok(gates)
+    };
+
+    let gates = match build(&mut sim) {
+        Ok(g) => g,
+        Err(_) => return TrainReport::oom(system),
+    };
+    let trace = match sim.run() {
+        Ok(t) => t,
+        Err(_) => return TrainReport::oom(system),
+    };
+    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::single_chip_cluster;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn single_gpu_caps_match_ddp_scale() {
+        // §5.2: Megatron and ZeRO-2/3 "do not enable training larger models
+        // on a single GPU compared to PyTorch DDP".
+        let c = single_chip_cluster(&presets::gh200_chip());
+        assert!(simulate(&c, 1, &wl("3B", 8), ZeroStage::Two).feasible());
+        assert!(!simulate(&c, 1, &wl("6B", 8), ZeroStage::Two).feasible());
+        assert!(!simulate(&c, 1, &wl("6B", 8), ZeroStage::Three).feasible());
+    }
+
+    #[test]
+    fn zero3_scales_further_than_zero2() {
+        let c = presets::gh200_nvl2_cluster(8);
+        // ZeRO-2 replicates FP16 params: bounded regardless of rank count.
+        assert!(!simulate(&c, 16, &wl("25B", 128), ZeroStage::Two).feasible());
+        assert!(simulate(&c, 16, &wl("25B", 128), ZeroStage::Three).feasible());
+    }
+
+    #[test]
+    fn zero3_pays_allgather_throughput_tax() {
+        let c = presets::gh200_nvl2_cluster(2);
+        let z2 = simulate(&c, 4, &wl("10B", 16), ZeroStage::Two);
+        let z3 = simulate(&c, 4, &wl("10B", 16), ZeroStage::Three);
+        assert!(z2.feasible() && z3.feasible());
+        assert!(
+            z3.tflops <= z2.tflops * 1.05,
+            "zero-3 {} should not beat zero-2 {} materially",
+            z3.tflops,
+            z2.tflops
+        );
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(ZeroStage::Two.name(), "zero-2");
+        assert_eq!(ZeroStage::Three.name(), "zero-3");
+    }
+}

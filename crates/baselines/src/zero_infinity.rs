@@ -1,0 +1,368 @@
+//! ZeRO-Infinity with CPU offloading (NVMe disabled, as in §5.1).
+//!
+//! Weight-flow from CPU memory: parameters stream in layer by layer for
+//! every forward and backward pass, gradients stream out, the optimizer
+//! runs on the CPU. Its transfer engine slices tensors into small fixed
+//! partitions that were tuned for PCIe — on NVLink-C2C those sit far below
+//! the Fig. 7 saturation knee, which is why the paper measures it under
+//! 50 TFLOPS ("bandwidth can drop to as low as 50 GB/s with small tensor
+//! sizes").
+
+use llm_model::flops::TrainingFlops;
+use llm_model::memory::ModelStateMemory;
+use llm_model::workload::{ExecutionPlan, Workload};
+use superchip_sim::collective::CollectiveCost;
+use superchip_sim::prelude::*;
+
+use superoffload::bucket::BucketPlan;
+use superoffload::casting::CastPlacement;
+use superoffload::costs::{
+    pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK,
+};
+use superoffload::report::TrainReport;
+use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+
+use crate::common::ITERATIONS;
+
+/// ZeRO-Infinity's transfer partition: small slices tuned for PCIe/NVMe.
+/// At 1 MB the C2C link delivers ~50 GB/s — the collapse the paper measures.
+const INFINITY_SLICE_BYTES: u64 = 1000 * 1000;
+
+/// Gradient bucket granularity for the optimizer pipeline.
+const INFINITY_BUCKET_BYTES: u64 = 32 * 1000 * 1000;
+
+/// The NVMe tier configuration for ZeRO-Infinity's deepest offload level.
+///
+/// The paper's evaluation disables NVMe "for fair comparison"; this
+/// reproduction implements it as the documented extension: optimizer states
+/// live on NVMe and are swapped through CPU memory around each bucket's
+/// step, trading throughput for near-unbounded capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmeTier {
+    /// Usable NVMe capacity in bytes.
+    pub capacity: u64,
+    /// The NVMe link (bandwidth + access latency).
+    pub link: superchip_sim::Link,
+}
+
+impl Default for NvmeTier {
+    fn default() -> Self {
+        NvmeTier {
+            capacity: 4 * 1000 * superchip_sim::GB, // 4 TB array
+            link: superchip_sim::presets::nvme(),
+        }
+    }
+}
+
+/// Simulates ZeRO-Infinity (CPU offload only) on `ranks` GPUs.
+pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
+    simulate_with_nvme(cluster, ranks, workload, None)
+}
+
+/// Simulates ZeRO-Infinity with an optional NVMe tier for optimizer states.
+pub fn simulate_with_nvme(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    nvme: Option<NvmeTier>,
+) -> TrainReport {
+    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
+    let system = "zero-infinity";
+    if !workload.global_batch.is_multiple_of(ranks) {
+        return TrainReport::oom(system);
+    }
+    let chip = &cluster.node.chip;
+    let params = workload.config.param_count();
+    let states = ModelStateMemory::for_params(params);
+    let n = ranks as u64;
+    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
+
+    let rank_batch = workload.global_batch / ranks;
+    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+
+    // GPU: only a streaming window + staging. CPU: all model states.
+    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
+    let gpu_resident = window + 4 * INFINITY_BUCKET_BYTES;
+    if gpu_resident > gpu_cap {
+        return TrainReport::oom(system);
+    }
+    // With an NVMe tier the optimizer states (12Ψ) move off the CPU; only
+    // the FP16 parameter mirror and swap buffers stay in DDR.
+    let cpu_resident = match nvme {
+        None => {
+            (states.optimizer_states() + states.fp16_params) / n + 4 * INFINITY_BUCKET_BYTES
+        }
+        Some(_) => states.fp16_params / n + 8 * INFINITY_BUCKET_BYTES,
+    };
+    if cpu_resident > cpu_cap {
+        return TrainReport::oom(system);
+    }
+    if let Some(tier) = nvme {
+        if states.optimizer_states() / n > tier.capacity {
+            return TrainReport::oom(system);
+        }
+    }
+    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
+        return TrainReport::oom(system);
+    };
+
+    let flops = TrainingFlops::for_iteration(
+        &workload.config,
+        rank_batch,
+        workload.seq,
+        plan.checkpointing,
+    );
+    let compute = ComputeTimes::new(&chip.gpu, &flops, plan.micro_steps());
+    let overhead = SimTime::from_secs(OP_OVERHEAD_FRAMEWORK);
+
+    // Weight streaming cost per pass: the full FP16 parameters move in
+    // PCIe-sized slices, each paying the per-message latency — this is the
+    // small-tensor bandwidth collapse.
+    let slices = states.fp16_params.div_ceil(INFINITY_SLICE_BYTES);
+    // Each slice pays the link latency plus the swap-manager's submission
+    // and completion overhead (two framework ops per slice).
+    let stream_per_pass = (chip.c2c.transfer_time(INFINITY_SLICE_BYTES)
+        + SimTime::from_secs(2.0 * OP_OVERHEAD_FRAMEWORK))
+        * slices as f64;
+
+    let buckets = BucketPlan::new(params, INFINITY_BUCKET_BYTES, 0);
+    let cast = CastPlacement::CpuCastMoveFp16Pageable;
+    let shard = |elems: u64| (elems / n).max(1);
+
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource("gpu");
+    let cpu = sim.add_resource("cpu");
+    let d2h = sim.add_resource("c2c-d2h");
+    let h2d = sim.add_resource("c2c-h2d");
+    let net = sim.add_resource("fabric");
+    let nvme_res = sim.add_resource("nvme");
+
+    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
+        let mut gates = Vec::new();
+        let mut prev_gate: Option<TaskId> = None;
+        for _ in 0..ITERATIONS {
+            let mut last: Option<TaskId> = None;
+            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+            for m in 0..plan.micro_steps() {
+                let deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
+                // Stream weights for forward; partially overlapped (the
+                // prefetcher hides at most half the stream behind compute).
+                let fetch_f = sim.add_task(
+                    TaskSpec::transfer(h2d, stream_per_pass)
+                        .with_label("weight-stream-fwd")
+                        .after_all(deps.iter().copied()),
+                )?;
+                let fwd = sim.add_task(
+                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
+                        .with_label("fwd")
+                        .after(fetch_f),
+                )?;
+                let fetch_b = sim.add_task(
+                    TaskSpec::transfer(h2d, stream_per_pass)
+                        .with_label("weight-stream-bwd")
+                        .after(fwd),
+                )?;
+                let mut prev_chunk = fetch_b;
+                for bi in 0..buckets.num_buckets {
+                    let elems = buckets.bucket_elems(bi);
+                    let frac = elems as f64 / params as f64;
+                    let chunk = sim.add_task(
+                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
+                            .with_label(format!("bwd[{bi}]"))
+                            .after(prev_chunk),
+                    )?;
+                    prev_chunk = chunk;
+                    if m + 1 == plan.micro_steps() {
+                        let mut dep = chunk;
+                        if ranks > 1 {
+                            dep = sim.add_task(
+                                TaskSpec::collective(
+                                    net,
+                                    coll.reduce_scatter(2 * elems) + overhead,
+                                )
+                                .with_label(format!("reduce-scatter[{bi}]"))
+                                .after(chunk),
+                            )?;
+                        }
+                        let xfer = sim.add_task(
+                            TaskSpec::transfer(
+                                d2h,
+                                cast.one_way_time(chip, shard(elems)) + overhead,
+                            )
+                            .with_label(format!("grad-out[{bi}]"))
+                            .after(dep),
+                        )?;
+                        arrivals.push((bi, xfer));
+                    }
+                }
+                last = Some(prev_chunk);
+            }
+
+            // STE sync, CPU optimizer, parameters stay on the CPU (they
+            // stream in next iteration) — only FP16 shard updates are
+            // written back to CPU-side parameter memory.
+            let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+            let norm_sync = sim.add_task(
+                TaskSpec::compute(
+                    cpu,
+                    SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth)
+                        + overhead,
+                )
+                .with_label("global-norm-sync")
+                .after_all(all),
+            )?;
+            let mut iter_end: Vec<TaskId> = Vec::new();
+            let mut prev_nvme: Option<TaskId> = None;
+            for &(bi, _) in &arrivals {
+                let elems = shard(buckets.bucket_elems(bi));
+                // NVMe tier: swap this bucket's optimizer states (12 bytes
+                // per element) in from NVMe before the step, back after.
+                let step_dep = if let Some(tier) = nvme {
+                    let mut spec = TaskSpec::transfer(
+                        nvme_res,
+                        tier.link.transfer_time(12 * elems) + overhead,
+                    )
+                    .with_label(format!("nvme-in[{bi}]"))
+                    .after(norm_sync);
+                    if let Some(p) = prev_nvme {
+                        spec = spec.after(p);
+                    }
+                    sim.add_task(spec)?
+                } else {
+                    norm_sync
+                };
+                let step = sim.add_task(
+                    TaskSpec::compute(
+                        cpu,
+                        pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems) + overhead,
+                    )
+                    .with_label(format!("step-cpu[{bi}]"))
+                    .after(step_dep),
+                )?;
+                if let Some(tier) = nvme {
+                    let out = sim.add_task(
+                        TaskSpec::transfer(
+                            nvme_res,
+                            tier.link.transfer_time(12 * elems) + overhead,
+                        )
+                        .with_label(format!("nvme-out[{bi}]"))
+                        .after(step),
+                    )?;
+                    prev_nvme = Some(out);
+                    iter_end.push(out);
+                } else {
+                    iter_end.push(step);
+                }
+            }
+            let gate = sim.add_task(
+                TaskSpec::sync(gpu).with_label("iter-gate").after_all(iter_end),
+            )?;
+            prev_gate = Some(gate);
+            gates.push(gate);
+        }
+        Ok(gates)
+    };
+
+    let gates = match build(&mut sim) {
+        Ok(g) => g,
+        Err(_) => return TrainReport::oom(system),
+    };
+    let trace = match sim.run() {
+        Ok(t) => t,
+        Err(_) => return TrainReport::oom(system),
+    };
+    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::single_chip_cluster;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn scales_to_large_models_on_one_chip() {
+        // Fig. 13: ZeRO-Infinity trains models comparable to SuperOffload.
+        let c = single_chip_cluster(&presets::gh200_chip());
+        assert!(simulate(&c, 1, &wl("25B", 8)).feasible());
+    }
+
+    #[test]
+    fn throughput_stays_low() {
+        // Fig. 10: ZeRO-Infinity remains below ~50 TFLOPS on a Superchip.
+        let c = single_chip_cluster(&presets::gh200_chip());
+        for name in ["5B", "13B", "25B"] {
+            let r = simulate(&c, 1, &wl(name, 8));
+            assert!(r.feasible(), "{name} should fit");
+            assert!(
+                r.tflops < 80.0,
+                "{name}: ZeRO-Infinity should be slow, got {}",
+                r.tflops
+            );
+        }
+    }
+
+    #[test]
+    fn slower_than_zero_offload_when_both_fit() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        let w = wl("5B", 8);
+        let zi = simulate(&c, 1, &w);
+        let zo = crate::zero_offload::simulate(&c, 1, &w);
+        assert!(zi.tflops < zo.tflops);
+    }
+}
+
+#[cfg(test)]
+mod nvme_tests {
+    use super::*;
+    use crate::common::single_chip_cluster;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn nvme_extends_capacity_beyond_cpu_memory() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        // 80B: optimizer states (960 GB) exceed the 480 GB Grace DDR, but
+        // fit a 4 TB NVMe array.
+        let w = wl("80B", 8);
+        assert!(!simulate(&c, 1, &w).feasible(), "80B should not fit CPU-only");
+        let r = simulate_with_nvme(&c, 1, &w, Some(NvmeTier::default()));
+        assert!(r.feasible(), "80B should fit with the NVMe tier");
+    }
+
+    #[test]
+    fn nvme_costs_throughput() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        let w = wl("5B", 8);
+        let cpu_only = simulate(&c, 1, &w);
+        let with_nvme = simulate_with_nvme(&c, 1, &w, Some(NvmeTier::default()));
+        assert!(with_nvme.feasible());
+        assert!(
+            with_nvme.tflops < cpu_only.tflops / 2.0,
+            "NVMe swap should dominate: {} vs {}",
+            with_nvme.tflops,
+            cpu_only.tflops
+        );
+    }
+
+    #[test]
+    fn nvme_capacity_is_enforced() {
+        let c = single_chip_cluster(&presets::gh200_chip());
+        let tiny = NvmeTier {
+            capacity: superchip_sim::GB,
+            ..NvmeTier::default()
+        };
+        assert!(!simulate_with_nvme(&c, 1, &wl("5B", 8), Some(tiny)).feasible());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of baseline-system invariants.
+
+use baselines::common::single_chip_cluster;
+use baselines::zero::ZeroStage;
+use baselines::{ddp, fsdp_offload, megatron, zero, zero_infinity, zero_offload};
+use llm_model::{ModelConfig, Workload};
+use proptest::prelude::*;
+use superchip_sim::presets;
+use superoffload::report::TrainReport;
+
+const NAMES: [&str; 7] = ["1B", "3B", "5B", "8B", "13B", "20B", "25B"];
+
+fn all_systems(
+    cluster: &superchip_sim::topology::ClusterSpec,
+    ranks: u32,
+    w: &Workload,
+) -> Vec<TrainReport> {
+    vec![
+        ddp::simulate(cluster, ranks, w),
+        megatron::simulate(cluster, ranks, w),
+        zero::simulate(cluster, ranks, w, ZeroStage::Two),
+        zero::simulate(cluster, ranks, w, ZeroStage::Three),
+        zero_offload::simulate(cluster, ranks, w),
+        zero_infinity::simulate(cluster, ranks, w),
+        fsdp_offload::simulate(cluster, ranks, w),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every baseline produces sane reports on a single chip: feasible ⇒
+    /// positive finite TFLOPS and valid utilizations; infeasible ⇒ zeroed.
+    #[test]
+    fn reports_are_sane(model_idx in 0usize..NAMES.len(), batch_pow in 0u32..4) {
+        let cluster = single_chip_cluster(&presets::gh200_chip());
+        let w = Workload::new(
+            ModelConfig::by_name(NAMES[model_idx]).unwrap(),
+            1 << batch_pow,
+            2048,
+        );
+        for r in all_systems(&cluster, 1, &w) {
+            if r.feasible() {
+                prop_assert!(r.tflops.is_finite() && r.tflops > 0.0, "{}", r.system);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&r.gpu_util), "{}", r.system);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&r.cpu_util), "{}", r.system);
+            } else {
+                prop_assert_eq!(r.tflops, 0.0);
+            }
+        }
+    }
+
+    /// Feasibility is monotone in model size for every system: if a model
+    /// fits, every smaller Appendix-A model fits too (same batch).
+    #[test]
+    fn feasibility_monotone_in_model_size(batch_pow in 0u32..3) {
+        let cluster = single_chip_cluster(&presets::gh200_chip());
+        let batch = 1u32 << batch_pow;
+        for sys_idx in 0..7usize {
+            let mut prev_feasible = true;
+            for name in NAMES {
+                let w = Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048);
+                let feasible = all_systems(&cluster, 1, &w)[sys_idx].feasible();
+                if !prev_feasible {
+                    prop_assert!(
+                        !feasible,
+                        "system {sys_idx}: {name} fits but a smaller model did not"
+                    );
+                }
+                prev_feasible = feasible;
+            }
+        }
+    }
+
+    /// Simulations are deterministic.
+    #[test]
+    fn deterministic(model_idx in 0usize..4) {
+        let cluster = single_chip_cluster(&presets::gh200_chip());
+        let w = Workload::new(ModelConfig::by_name(NAMES[model_idx]).unwrap(), 8, 2048);
+        let a = all_systems(&cluster, 1, &w);
+        let b = all_systems(&cluster, 1, &w);
+        prop_assert_eq!(a, b);
+    }
+
+    /// GPU-only systems never use the CPU; offloaders always do (when
+    /// feasible).
+    #[test]
+    fn cpu_usage_matches_system_class(model_idx in 0usize..3) {
+        let cluster = single_chip_cluster(&presets::gh200_chip());
+        let w = Workload::new(ModelConfig::by_name(NAMES[model_idx]).unwrap(), 8, 2048);
+        let d = ddp::simulate(&cluster, 1, &w);
+        if d.feasible() {
+            prop_assert!(d.cpu_util < 1e-9, "DDP used the CPU: {}", d.cpu_util);
+        }
+        let zo = zero_offload::simulate(&cluster, 1, &w);
+        if zo.feasible() {
+            prop_assert!(zo.cpu_util > 0.05, "ZeRO-Offload CPU idle: {}", zo.cpu_util);
+        }
+    }
+
+    /// Megatron's best-MP search never does worse than mp=1 when both fit.
+    #[test]
+    fn megatron_search_dominates_mp1(model_idx in 0usize..3) {
+        let cluster = presets::gh200_nvl2_cluster(2);
+        let w = Workload::new(ModelConfig::by_name(NAMES[model_idx]).unwrap(), 16, 2048);
+        let best = megatron::simulate(&cluster, 4, &w);
+        let mp1 = megatron::simulate_with_mp(&cluster, 4, 1, &w);
+        if mp1.feasible() {
+            prop_assert!(best.feasible());
+            prop_assert!(best.tflops >= mp1.tflops * 0.999);
+        }
+    }
+}

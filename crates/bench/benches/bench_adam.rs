@@ -1,0 +1,35 @@
+//! Table 3 benchmark: real optimizer-step latency of the three Adam
+//! implementations (PT-CPU-style, CPU-Adam, GraceAdam) across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grace_optim::adam::{AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam};
+
+fn bench_adam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adam_step");
+    group.sample_size(10);
+    for &n in &[1_000_000usize, 8_000_000, 32_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let cfg = AdamConfig::default();
+        let steppers: [(&str, Box<dyn AdamStepper>); 3] = [
+            ("pt-cpu", Box::new(NaiveAdam)),
+            ("cpu-adam", Box::new(CpuAdam)),
+            ("grace-adam", Box::new(GraceAdam::default())),
+        ];
+        for (name, stepper) in steppers {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut p: Vec<f32> = (0..n).map(|i| (i as f32 * 1e-3).sin()).collect();
+                let g: Vec<f32> = (0..n).map(|i| (i as f32 * 2e-3).cos() * 0.01).collect();
+                let mut state = AdamState::new(n);
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    stepper.step(&cfg, t, &mut p, &g, &mut state);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adam);
+criterion_main!(benches);

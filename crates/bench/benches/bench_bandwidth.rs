@@ -1,0 +1,47 @@
+//! Fig. 7 benchmark: bandwidth-curve evaluation and transfer-pipeline
+//! simulation across message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use superchip_sim::prelude::*;
+use superchip_sim::{presets, MIB};
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let c2c = presets::nvlink_c2c();
+
+    let mut group = c.benchmark_group("fig7_bandwidth_curve");
+    for mb in [1u64, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(mb), &(mb * MIB), |b, &bytes| {
+            b.iter(|| c2c.effective_bandwidth(bytes));
+        });
+    }
+    group.finish();
+
+    // A bucketized transfer pipeline: N buckets queued on one link direction.
+    let mut group = c.benchmark_group("bucketized_transfer_pipeline");
+    group.sample_size(20);
+    for buckets in [8u32, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buckets),
+            &buckets,
+            |b, &buckets| {
+                b.iter(|| {
+                    let mut sim = Simulator::new();
+                    let link = sim.add_resource("d2h");
+                    let mut prev = None;
+                    for _ in 0..buckets {
+                        let mut spec = TaskSpec::transfer(link, c2c.transfer_time(64 * MIB));
+                        if let Some(p) = prev {
+                            spec = spec.after(p);
+                        }
+                        prev = Some(sim.add_task(spec).unwrap());
+                    }
+                    sim.run().unwrap().makespan()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

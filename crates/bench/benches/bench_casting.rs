@@ -1,0 +1,48 @@
+//! Fig. 9 benchmark: the three cast-placement strategies' modeled costs,
+//! plus real f32<->f16 conversion throughput from the numeric plane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use superchip_sim::{presets, MIB};
+use superoffload::casting::CastPlacement;
+use tensorlite::{f16_to_f32_slice, f32_to_f16_slice};
+
+fn bench_casting(c: &mut Criterion) {
+    let chip = presets::gh200_chip();
+
+    let mut group = c.benchmark_group("fig9_cast_strategy_model");
+    for mb in [16u64, 256, 1024] {
+        let elems = mb * MIB / 4;
+        for (name, strategy) in [
+            ("gpu-cast-fp32", CastPlacement::GpuCastMoveFp32),
+            ("cpu-cast-fp16-pageable", CastPlacement::CpuCastMoveFp16Pageable),
+            ("cpu-cast-fp16-fused", CastPlacement::CpuCastMoveFp16Fused),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, mb),
+                &elems,
+                |b, &elems| {
+                    b.iter(|| strategy.round_trip_time(&chip, elems));
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Real software half-precision conversion throughput.
+    let mut group = c.benchmark_group("real_f16_cast");
+    for n in [1usize << 16, 1 << 20] {
+        group.throughput(Throughput::Elements(n as u64));
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 1e-4).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("f32_to_f16", n), &data, |b, data| {
+            b.iter(|| f32_to_f16_slice(data));
+        });
+        let halves = f32_to_f16_slice(&data);
+        group.bench_with_input(BenchmarkId::new("f16_to_f32", n), &halves, |b, halves| {
+            b.iter(|| f16_to_f32_slice(halves));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_casting);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 13 benchmark: the capacity-search machinery (largest trainable
+//! model per system and rank count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use superchip_sim::presets;
+use superoffload::schedule::SuperOffloadOptions;
+use superoffload::zero_dp;
+
+fn bench_model_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_capacity_search");
+    group.sample_size(10);
+    let opts = SuperOffloadOptions::default();
+    for ranks in [4u32, 16] {
+        let cluster = presets::gh200_nvl2_cluster(ranks / 2);
+        let batch = if ranks == 4 { 16 } else { 128 };
+        group.bench_with_input(
+            BenchmarkId::new("superoffload_max_model", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| zero_dp::max_trainable_model(&cluster, ranks, batch, 2048, &opts));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_scale);
+criterion_main!(benches);

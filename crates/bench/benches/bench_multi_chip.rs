@@ -1,0 +1,42 @@
+//! Fig. 11 benchmark: multi-Superchip schedules (4 and 16 GPUs) for
+//! SuperOffload + ZeRO-DP and the distributed baselines.
+
+use baselines::zero::ZeroStage;
+use baselines::{megatron, zero, zero_offload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llm_model::{ModelConfig, Workload};
+use superchip_sim::presets;
+use superoffload::schedule::SuperOffloadOptions;
+use superoffload::zero_dp;
+
+fn bench_multi_chip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_multi_chip");
+    group.sample_size(10);
+    for (ranks, batch) in [(4u32, 16u32), (16, 128)] {
+        let cluster = presets::gh200_nvl2_cluster(ranks / 2);
+        let w = Workload::new(ModelConfig::by_name("10B").unwrap(), batch, 2048);
+        group.bench_with_input(
+            BenchmarkId::new("superoffload", ranks),
+            &w,
+            |b, w| {
+                b.iter(|| zero_dp::simulate_cluster(&cluster, ranks, w, &SuperOffloadOptions::default()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("megatron", ranks), &w, |b, w| {
+            b.iter(|| megatron::simulate(&cluster, ranks, w));
+        });
+        group.bench_with_input(BenchmarkId::new("zero-2", ranks), &w, |b, w| {
+            b.iter(|| zero::simulate(&cluster, ranks, w, ZeroStage::Two));
+        });
+        group.bench_with_input(BenchmarkId::new("zero-3", ranks), &w, |b, w| {
+            b.iter(|| zero::simulate(&cluster, ranks, w, ZeroStage::Three));
+        });
+        group.bench_with_input(BenchmarkId::new("zero-offload", ranks), &w, |b, w| {
+            b.iter(|| zero_offload::simulate(&cluster, ranks, w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_chip);
+criterion_main!(benches);

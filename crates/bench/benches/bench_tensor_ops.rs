@@ -1,0 +1,46 @@
+//! Numeric-substrate benchmark: the kernels the miniature GPT is built on
+//! (matmul, softmax, layernorm, GELU, cross-entropy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensorlite::{ops, Tensor, XorShiftRng};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(17);
+
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b_mat = Tensor::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b_mat).unwrap());
+        });
+    }
+    group.finish();
+
+    let rows = 256usize;
+    let cols = 512usize;
+    let x = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+    let gamma = vec![1.0f32; cols];
+    let beta = vec![0.0f32; cols];
+    let targets: Vec<usize> = (0..rows).map(|i| i % cols).collect();
+
+    let mut group = c.benchmark_group("nn_kernels");
+    group.throughput(Throughput::Elements((rows * cols) as u64));
+    group.bench_function("softmax_rows", |b| {
+        b.iter(|| ops::softmax_rows(&x).unwrap());
+    });
+    group.bench_function("layer_norm", |b| {
+        b.iter(|| ops::layer_norm(&x, &gamma, &beta, 1e-5).unwrap());
+    });
+    group.bench_function("gelu", |b| {
+        b.iter(|| ops::gelu(&x));
+    });
+    group.bench_function("cross_entropy", |b| {
+        b.iter(|| ops::cross_entropy(&x, &targets).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor_ops);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Regenerates every table and figure of the SuperOffload paper.
+//!
+//! ```text
+//! cargo run --release -p superoffload-bench --bin repro -- all
+//! cargo run --release -p superoffload-bench --bin repro -- fig10 table2
+//! ```
+
+use superoffload_bench::{experiments, realbench};
+
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("table1", experiments::print_table1),
+    ("fig4", experiments::print_fig4),
+    ("fig6", experiments::print_fig6),
+    ("fig7", experiments::print_fig7),
+    ("fig9", experiments::print_fig9),
+    ("fig10", experiments::print_fig10),
+    ("fig11", print_fig11_both),
+    ("fig12", experiments::print_fig12),
+    ("fig13", experiments::print_fig13),
+    ("table2", experiments::print_table2),
+    ("table3", realbench::print_table3),
+    ("fig14", realbench::print_fig14),
+    ("fig15", experiments::print_fig15),
+    ("timelines", experiments::print_timelines),
+    ("numa", experiments::print_numa),
+    ("bucket-sweep", experiments::print_bucket_sweep),
+    ("pipeline", experiments::print_pipeline),
+];
+
+fn print_fig11_both() {
+    experiments::print_fig11(4);
+    println!();
+    experiments::print_fig11(16);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <experiment>... | all");
+        eprintln!(
+            "experiments: {} all",
+            EXPERIMENTS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let selected: Vec<&(&str, fn())> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                EXPERIMENTS
+                    .iter()
+                    .find(|(n, _)| n == a)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment `{a}`; run with --help");
+                        std::process::exit(2)
+                    })
+            })
+            .collect()
+    };
+
+    for (i, (_, f)) in selected.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        f();
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness for the SuperOffload reproduction.
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation section (run via the `repro` binary: `cargo run -p
+//! superoffload-bench --bin repro -- all`). [`realbench`] hosts the
+//! real-execution measurements (GraceAdam latencies on the host CPU, the
+//! STV training run) that back Table 3 and Fig. 14.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod realbench;

@@ -1,0 +1,288 @@
+//! Real-execution measurements: Table 3 (optimizer latency) and Fig. 14
+//! (training loss + rollback occurrences under STV).
+//!
+//! Unlike [`crate::experiments`], nothing here is simulated: Table 3 times
+//! the three real Adam implementations of `grace-optim` on the host CPU,
+//! and Fig. 14 trains a real miniature GPT with the real multi-threaded
+//! speculation-then-validation engine, counting actual rollbacks.
+
+use std::time::Instant;
+
+use grace_optim::adam::{AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam};
+use llm_model::transformer::{GptConfig, GptModel};
+use llm_model::SyntheticPile;
+use superoffload::engine::{EngineConfig, StepOutcome, StvEngine, SyncEngine};
+
+/// One Table 3 row: seconds per optimizer step for each implementation at a
+/// given parameter count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamLatencyRow {
+    /// Parameters stepped.
+    pub params: usize,
+    /// Framework-native style (multi-pass) Adam.
+    pub pt_cpu_secs: f64,
+    /// Fused single-thread CPU-Adam.
+    pub cpu_adam_secs: f64,
+    /// Tiled multi-threaded GraceAdam.
+    pub grace_adam_secs: f64,
+}
+
+impl AdamLatencyRow {
+    /// PT-CPU / GraceAdam speedup.
+    pub fn pt_speedup(&self) -> f64 {
+        self.pt_cpu_secs / self.grace_adam_secs
+    }
+
+    /// CPU-Adam / GraceAdam speedup.
+    pub fn cpu_adam_speedup(&self) -> f64 {
+        self.cpu_adam_secs / self.grace_adam_secs
+    }
+}
+
+fn time_stepper(stepper: &dyn AdamStepper, params: usize, reps: u32) -> f64 {
+    let cfg = AdamConfig::default();
+    let mut p: Vec<f32> = (0..params).map(|i| (i as f32 * 0.001).sin()).collect();
+    let g: Vec<f32> = (0..params).map(|i| (i as f32 * 0.002).cos() * 0.01).collect();
+    let mut state = AdamState::new(params);
+    // Warm up caches and page in the buffers.
+    stepper.step(&cfg, 1, &mut p, &g, &mut state);
+    let start = Instant::now();
+    for t in 0..reps {
+        stepper.step(&cfg, t as u64 + 2, &mut p, &g, &mut state);
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measures real optimizer latency at `params` parameters (Table 3,
+/// scaled to sizes that fit host memory: 4 f32 buffers per parameter).
+pub fn adam_latency(params: usize, reps: u32) -> AdamLatencyRow {
+    AdamLatencyRow {
+        params,
+        pt_cpu_secs: time_stepper(&NaiveAdam, params, reps),
+        cpu_adam_secs: time_stepper(&CpuAdam, params, reps),
+        grace_adam_secs: time_stepper(&GraceAdam::default(), params, reps),
+    }
+}
+
+/// Runs the Table 3 measurement ladder (parameter counts scaled to host
+/// memory; the paper's 1B–8B ladder maps to 32M–256M here).
+pub fn table3(sizes: &[usize], reps: u32) -> Vec<AdamLatencyRow> {
+    sizes.iter().map(|&n| adam_latency(n, reps)).collect()
+}
+
+/// Prints Table 3 with both measured (real) and modeled (simulator)
+/// latencies.
+pub fn print_table3() {
+    println!("# Table 3: Adam latency — REAL measured on this host (scaled sizes)");
+    println!(
+        "{:>12} {:>10} {:>10} {:>11} {:>8} {:>8}",
+        "#params", "pt-cpu s", "cpu-adam s", "grace-adam s", "pt/ga", "ca/ga"
+    );
+    for row in table3(&[32_000_000, 64_000_000, 128_000_000, 256_000_000], 3) {
+        println!(
+            "{:>12} {:>10.4} {:>10.4} {:>11.4} {:>7.2}x {:>7.2}x",
+            row.params,
+            row.pt_cpu_secs,
+            row.cpu_adam_secs,
+            row.grace_adam_secs,
+            row.pt_speedup(),
+            row.cpu_adam_speedup()
+        );
+    }
+    println!("(paper on Grace: pt-cpu ~3x and cpu-adam ~1.24x the GraceAdam latency)");
+
+    println!("\n# Table 3 (modeled on simulated Grace CPU, paper's 1B-8B ladder)");
+    let cpu = superchip_sim::presets::grace_cpu(480 * superchip_sim::GB);
+    println!(
+        "{:>10} {:>10} {:>10} {:>11}",
+        "#params", "pt-cpu s", "cpu-adam s", "grace-adam s"
+    );
+    for billions in [1u64, 2, 4, 8] {
+        let n = billions * 1_000_000_000;
+        use superoffload::costs::OptimizerImpl;
+        println!(
+            "{:>9}B {:>10.3} {:>10.3} {:>11.3}",
+            billions,
+            OptimizerImpl::PtCpu.step_time(&cpu, n).as_secs(),
+            OptimizerImpl::CpuAdam.step_time(&cpu, n).as_secs(),
+            OptimizerImpl::GraceAdam.step_time(&cpu, n).as_secs(),
+        );
+    }
+    println!("(paper: 1B = 0.289 / 0.098 / 0.082 s; 8B = 1.834 / 0.769 / 0.608 s)");
+}
+
+/// Result of the Fig. 14 training run.
+#[derive(Debug, Clone)]
+pub struct TrainingRun {
+    /// `(iteration, loss)` samples.
+    pub losses: Vec<(u64, f32)>,
+    /// Iterations at which a rollback occurred (skip or clip).
+    pub rollback_iters: Vec<u64>,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// Whether the STV engine stayed bit-identical to the synchronous
+    /// reference throughout.
+    pub exact_vs_sync: bool,
+}
+
+impl TrainingRun {
+    /// Rollback rate over the stable phase (after `warmup` iterations).
+    pub fn stable_rollback_rate(&self, warmup: u64) -> f64 {
+        let stable_rollbacks = self
+            .rollback_iters
+            .iter()
+            .filter(|&&i| i >= warmup)
+            .count() as f64;
+        stable_rollbacks / (self.iterations.saturating_sub(warmup).max(1)) as f64
+    }
+}
+
+/// Fig. 14: trains a real GPT with the real STV engine for `iterations`
+/// steps, tracking loss and rollbacks, and verifying exactness against the
+/// synchronous engine every step.
+///
+/// The loss scale starts deliberately high so the warm-up phase exhibits
+/// the paper's frequent early rollbacks before stabilizing.
+pub fn fig14_run(iterations: u64, seed: u64) -> TrainingRun {
+    let model_cfg = GptConfig {
+        vocab: 64,
+        hidden: 32,
+        layers: 2,
+        heads: 2,
+        max_seq: 32,
+    };
+    let engine_cfg = EngineConfig {
+        adam: AdamConfig {
+            lr: 3e-3,
+            ..AdamConfig::default()
+        },
+        // Loose enough that clipping fires only on genuine spikes once
+        // training stabilizes (the paper observes 0.12% after warm-up).
+        max_grad_norm: 6.0,
+        // High initial scale: early iterations overflow FP16 and roll back,
+        // like the paper's first ~1000 iterations.
+        initial_loss_scale: 4_194_304.0,
+        buckets: 4,
+        precision: superoffload::engine::Precision::F16,
+    };
+    let mut stv = StvEngine::new(GptModel::new(model_cfg.clone(), seed), engine_cfg);
+    let mut sync = SyncEngine::new(GptModel::new(model_cfg, seed), engine_cfg);
+    let mut pile = SyntheticPile::new(64, seed);
+
+    let mut losses = Vec::new();
+    let mut rollback_iters = Vec::new();
+    let mut exact = true;
+    for it in 0..iterations {
+        let batch = pile.next_batch(2, 24);
+        let out = stv.train_step(&batch).expect("training step");
+        let sync_out = sync.train_step(&batch).expect("reference step");
+        if stv.model().params() != sync.model().params() {
+            exact = false;
+        }
+        let _ = sync_out;
+        if out.rolled_back() {
+            rollback_iters.push(it);
+        }
+        if it % 5 == 0 || matches!(out, StepOutcome::Applied { .. }) {
+            losses.push((it, out.loss()));
+        }
+    }
+    TrainingRun {
+        losses,
+        rollback_iters,
+        iterations,
+        exact_vs_sync: exact,
+    }
+}
+
+/// Prints Fig. 14 (ASCII loss curve with rollback markers).
+pub fn print_fig14() {
+    let iters = 400;
+    let run = fig14_run(iters, 42);
+    println!("# Fig. 14: REAL STV training run ({iters} iterations, real GPT + real rollbacks)");
+    println!(
+        "rollbacks: {} total; warm-up (first 10%): {}; stable-phase rate {:.2}%",
+        run.rollback_iters.len(),
+        run.rollback_iters.iter().filter(|&&i| i < iters / 10).count(),
+        run.stable_rollback_rate(iters / 10) * 100.0
+    );
+    println!(
+        "STV bit-identical to synchronous reference: {}",
+        run.exact_vs_sync
+    );
+    // Coarse ASCII curve: bucket losses into 20 columns.
+    let cols = 20usize;
+    let per = (iters as usize).div_ceil(cols);
+    println!("\n{:>10} {:>8}  loss (o = rollback in window)", "iters", "loss");
+    for c in 0..cols {
+        let lo = (c * per) as u64;
+        let hi = ((c + 1) * per) as u64;
+        let window: Vec<f32> = run
+            .losses
+            .iter()
+            .filter(|(i, _)| *i >= lo && *i < hi)
+            .map(|&(_, l)| l)
+            .collect();
+        if window.is_empty() {
+            continue;
+        }
+        let avg = window.iter().sum::<f32>() / window.len() as f32;
+        let rollbacks = run
+            .rollback_iters
+            .iter()
+            .filter(|&&i| i >= lo && i < hi)
+            .count();
+        let bar_len = (avg / 4.5 * 40.0).clamp(0.0, 60.0) as usize;
+        println!(
+            "{:>4}-{:<5} {:>8.3}  {}{}",
+            lo,
+            hi,
+            avg,
+            "#".repeat(bar_len),
+            if rollbacks > 0 {
+                format!(" o x{rollbacks}")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!("(paper: rollbacks frequent before iteration ~1000, then 0.12% of iterations)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_latency_ordering_holds_on_this_host() {
+        // The paper's Table 3 ordering: GraceAdam < CPU-Adam < PT-CPU.
+        // Use a size big enough to be memory-bound but quick.
+        let row = adam_latency(8_000_000, 2);
+        assert!(
+            row.grace_adam_secs < row.pt_cpu_secs,
+            "GraceAdam ({}) should beat PT-CPU ({})",
+            row.grace_adam_secs,
+            row.pt_cpu_secs
+        );
+        assert!(row.pt_speedup() > 1.0);
+    }
+
+    #[test]
+    fn fig14_training_converges_with_rollbacks() {
+        let run = fig14_run(120, 7);
+        assert!(run.exact_vs_sync, "STV diverged from the reference");
+        assert!(
+            !run.rollback_iters.is_empty(),
+            "high initial scale should force early rollbacks"
+        );
+        // Warm-up rollbacks dominate: more in the first half than second.
+        let mid = run.iterations / 2;
+        let early = run.rollback_iters.iter().filter(|&&i| i < mid).count();
+        let late = run.rollback_iters.len() - early;
+        assert!(early >= late, "early {early} vs late {late}");
+        // Loss decreases.
+        let first = run.losses.first().unwrap().1;
+        let last_avg: f32 = run.losses.iter().rev().take(5).map(|&(_, l)| l).sum::<f32>() / 5.0;
+        assert!(last_avg < first, "loss {first} -> {last_avg}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Global gradient-norm computation and clipping.
+//!
+//! Gradient clipping requires the *global* L2 norm across every parameter
+//! gradient — the synchronization that §4.4 of the paper moves off the
+//! critical path. The helpers here are used both by the synchronous
+//! reference engine (compute norm, then step) and by the STV engine
+//! (speculate, validate the norm in the background, roll back on violation).
+
+/// Global L2 norm across gradient shards, accumulated in `f64`.
+pub fn global_grad_norm<'a, I>(shards: I) -> f64
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    shards
+        .into_iter()
+        .map(tensorlite::cast::sum_of_squares)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Scale factor that brings a gradient of `norm` within `max_norm`.
+///
+/// Returns `1.0` when no clipping is needed, so it can be applied
+/// unconditionally.
+///
+/// # Panics
+/// Panics if `max_norm` is not strictly positive.
+pub fn clip_factor(norm: f64, max_norm: f64) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    if norm <= max_norm || norm == 0.0 {
+        1.0
+    } else {
+        (max_norm / norm) as f32
+    }
+}
+
+/// Scales a gradient shard in place by `factor` (no-op when `factor == 1`).
+pub fn apply_clip(grads: &mut [f32], factor: f32) {
+    if factor == 1.0 {
+        return;
+    }
+    for g in grads {
+        *g *= factor;
+    }
+}
+
+/// Whether a gradient norm indicates a clipping violation.
+pub fn violates(norm: f64, max_norm: f64) -> bool {
+    norm > max_norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_over_shards_equals_norm_over_concat() {
+        let a = vec![3.0f32, 0.0];
+        let b = vec![0.0f32, 4.0];
+        let sharded = global_grad_norm([a.as_slice(), b.as_slice()]);
+        let concat = global_grad_norm([[3.0f32, 0.0, 0.0, 4.0].as_slice()]);
+        assert_eq!(sharded, concat);
+        assert!((sharded - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_factor_identity_when_within_bound() {
+        assert_eq!(clip_factor(0.5, 1.0), 1.0);
+        assert_eq!(clip_factor(1.0, 1.0), 1.0);
+        assert_eq!(clip_factor(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn clip_factor_rescales_to_bound() {
+        let f = clip_factor(10.0, 1.0);
+        assert!((f - 0.1).abs() < 1e-6);
+        let mut g = vec![6.0f32, 8.0];
+        let norm = global_grad_norm([g.as_slice()]);
+        let f = clip_factor(norm, 5.0);
+        apply_clip(&mut g, f);
+        let new_norm = global_grad_norm([g.as_slice()]);
+        assert!((new_norm - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn apply_clip_with_unit_factor_is_noop() {
+        let mut g = vec![1.0f32, 2.0];
+        apply_clip(&mut g, 1.0);
+        assert_eq!(g, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn violates_matches_clip_factor() {
+        assert!(violates(2.0, 1.0));
+        assert!(!violates(1.0, 1.0));
+        assert!(!violates(0.5, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm must be positive")]
+    fn zero_max_norm_rejected() {
+        let _ = clip_factor(1.0, 0.0);
+    }
+
+    #[test]
+    fn empty_gradients_have_zero_norm() {
+        assert_eq!(global_grad_norm(std::iter::empty::<&[f32]>()), 0.0);
+        assert_eq!(global_grad_norm([[].as_slice()]), 0.0);
+    }
+}

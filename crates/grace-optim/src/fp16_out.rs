@@ -1,0 +1,138 @@
+//! Fused Adam step with FP16 parameter output.
+//!
+//! Offloading runtimes keep FP32 master parameters on the CPU and ship FP16
+//! working copies back to the GPU after each step. Writing the FP16 copy
+//! *inside* the optimizer loop (instead of a separate casting sweep) saves
+//! one full pass over the parameters — this is part of what CPU-Adam and
+//! GraceAdam fuse, and what the paper's Superchip-aware casting analysis
+//! (§4.5) weighs against GPU-side casting.
+
+use tensorlite::F16;
+
+use crate::adam::{AdamConfig, AdamState, AdamStepper};
+
+/// Result of a fused step: how many output halves were non-finite (an
+/// overflow signal the caller can use instead of a separate scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp16StepReport {
+    /// Number of FP16 outputs that were NaN/Inf after the update.
+    pub nonfinite_outputs: usize,
+}
+
+impl Fp16StepReport {
+    /// Whether every emitted FP16 parameter was finite.
+    pub fn all_finite(&self) -> bool {
+        self.nonfinite_outputs == 0
+    }
+}
+
+/// Runs `stepper` over the FP32 master parameters and emits the updated
+/// FP16 working copy in the same logical operation.
+///
+/// The FP16 buffer is what an offloading runtime would DMA back to the GPU;
+/// `master` stays the source of truth. Numerically this is exactly
+/// `stepper.step(...)` followed by a cast — fusing changes performance, not
+/// values (verified by tests).
+///
+/// # Panics
+/// Panics if `fp16_out.len() != master.len()` or on the stepper's own
+/// length/step preconditions.
+pub fn step_with_fp16_out(
+    stepper: &dyn AdamStepper,
+    cfg: &AdamConfig,
+    step: u64,
+    master: &mut [f32],
+    grads: &[f32],
+    state: &mut AdamState,
+    fp16_out: &mut [F16],
+) -> Fp16StepReport {
+    assert_eq!(
+        master.len(),
+        fp16_out.len(),
+        "fp16 output buffer must match master length"
+    );
+    stepper.step(cfg, step, master, grads, state);
+    let mut nonfinite = 0usize;
+    for (h, &m) in fp16_out.iter_mut().zip(master.iter()) {
+        let v = F16::from_f32(m);
+        if !v.is_finite() {
+            nonfinite += 1;
+        }
+        *h = v;
+    }
+    Fp16StepReport {
+        nonfinite_outputs: nonfinite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::{CpuAdam, GraceAdam};
+    use tensorlite::XorShiftRng;
+
+    fn problem(n: usize) -> (Vec<f32>, Vec<f32>, AdamState) {
+        let mut rng = XorShiftRng::new(31);
+        (
+            (0..n).map(|_| rng.normal()).collect(),
+            (0..n).map(|_| rng.normal_scaled(0.0, 0.1)).collect(),
+            AdamState::new(n),
+        )
+    }
+
+    #[test]
+    fn fused_output_equals_step_then_cast() {
+        let cfg = AdamConfig::default();
+        let (mut m1, g, mut s1) = problem(1000);
+        let mut m2 = m1.clone();
+        let mut s2 = s1.clone();
+
+        let mut fused = vec![F16::ZERO; 1000];
+        let report = step_with_fp16_out(&CpuAdam, &cfg, 1, &mut m1, &g, &mut s1, &mut fused);
+        assert!(report.all_finite());
+
+        CpuAdam.step(&cfg, 1, &mut m2, &g, &mut s2);
+        let separate = tensorlite::f32_to_f16_slice(&m2);
+        assert_eq!(m1, m2);
+        assert_eq!(fused, separate);
+    }
+
+    #[test]
+    fn detects_overflowing_outputs() {
+        let cfg = AdamConfig::default();
+        let n = 8;
+        let mut master = vec![70000.0f32; n]; // beyond f16 max
+        let grads = vec![0.0f32; n];
+        let mut state = AdamState::new(n);
+        let mut out = vec![F16::ZERO; n];
+        let report =
+            step_with_fp16_out(&GraceAdam::default(), &cfg, 1, &mut master, &grads, &mut state, &mut out);
+        assert_eq!(report.nonfinite_outputs, n);
+        assert!(!report.all_finite());
+        assert!(out.iter().all(|h| h.is_infinite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match master length")]
+    fn mismatched_output_buffer_panics() {
+        let cfg = AdamConfig::default();
+        let (mut m, g, mut s) = problem(10);
+        let mut out = vec![F16::ZERO; 9];
+        let _ = step_with_fp16_out(&CpuAdam, &cfg, 1, &mut m, &g, &mut s, &mut out);
+    }
+
+    #[test]
+    fn works_across_steppers_identically() {
+        let cfg = AdamConfig::default();
+        let (m0, g, s0) = problem(513);
+        let mut outs = Vec::new();
+        for stepper in [&CpuAdam as &dyn AdamStepper, &GraceAdam::new(64, 3)] {
+            let mut m = m0.clone();
+            let mut s = s0.clone();
+            let mut out = vec![F16::ZERO; 513];
+            step_with_fp16_out(stepper, &cfg, 1, &mut m, &g, &mut s, &mut out);
+            outs.push(out);
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Dynamic loss scaling for mixed-precision training.
+//!
+//! FP16 gradients underflow easily; frameworks multiply the loss by a scale
+//! factor before backward and divide gradients by it before the optimizer
+//! step. On overflow (NaN/Inf in gradients) the step is skipped and the
+//! scale halved; after a window of clean steps the scale doubles. This is
+//! the behaviour the STV validator (§4.4) must detect and roll back.
+
+use tensorlite::cast::has_nonfinite;
+
+/// Dynamic loss scaler with the standard grow/backoff policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    overflows: u64,
+}
+
+impl Default for LossScaler {
+    fn default() -> Self {
+        LossScaler::new(65536.0)
+    }
+}
+
+impl LossScaler {
+    /// Creates a scaler with an initial scale.
+    ///
+    /// # Panics
+    /// Panics if `initial_scale` is not strictly positive.
+    pub fn new(initial_scale: f32) -> Self {
+        assert!(initial_scale > 0.0, "scale must be positive");
+        LossScaler {
+            scale: initial_scale,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            good_steps: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Current scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Clean steps since the last growth or overflow (checkpointing needs
+    /// this to resume the growth schedule exactly).
+    pub fn good_steps(&self) -> u32 {
+        self.good_steps
+    }
+
+    /// Reconstructs a scaler from checkpointed state.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive.
+    pub fn from_state(scale: f32, good_steps: u32, overflows: u64) -> Self {
+        let mut s = LossScaler::new(scale);
+        s.good_steps = good_steps;
+        s.overflows = overflows;
+        s
+    }
+
+    /// Number of overflow events seen.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Multiplies a loss (or gradient) by the scale.
+    pub fn scale_value(&self, loss: f32) -> f32 {
+        loss * self.scale
+    }
+
+    /// Unscales gradients in place (divide by scale).
+    pub fn unscale(&self, grads: &mut [f32]) {
+        let inv = 1.0 / self.scale;
+        for g in grads {
+            *g *= inv;
+        }
+    }
+
+    /// Checks gradients for overflow and updates the scale; returns `true`
+    /// if the step must be skipped.
+    pub fn update(&mut self, grads: &[f32]) -> bool {
+        let overflow = has_nonfinite(grads);
+        self.update_with(overflow);
+        overflow
+    }
+
+    /// Updates the scale from an externally detected overflow flag (used by
+    /// the STV validator, which scans gradients on another thread).
+    pub fn update_with(&mut self, overflow: bool) {
+        if overflow {
+            self.scale *= self.backoff_factor;
+            self.scale = self.scale.max(1.0);
+            self.good_steps = 0;
+            self.overflows += 1;
+        } else {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= self.growth_factor;
+                self.good_steps = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_unscale_roundtrip() {
+        let s = LossScaler::new(1024.0);
+        assert_eq!(s.scale_value(2.0), 2048.0);
+        let mut g = vec![1024.0f32, 2048.0];
+        s.unscale(&mut g);
+        assert_eq!(g, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn overflow_halves_scale_and_skips() {
+        let mut s = LossScaler::new(1024.0);
+        let skipped = s.update(&[f32::INFINITY]);
+        assert!(skipped);
+        assert_eq!(s.scale(), 512.0);
+        assert_eq!(s.overflow_count(), 1);
+    }
+
+    #[test]
+    fn clean_steps_grow_scale_after_interval() {
+        let mut s = LossScaler::new(8.0);
+        for _ in 0..1999 {
+            assert!(!s.update(&[1.0]));
+            assert_eq!(s.scale(), 8.0);
+        }
+        s.update(&[1.0]);
+        assert_eq!(s.scale(), 16.0);
+    }
+
+    #[test]
+    fn scale_never_drops_below_one() {
+        let mut s = LossScaler::new(1.0);
+        for _ in 0..10 {
+            s.update(&[f32::NAN]);
+        }
+        assert_eq!(s.scale(), 1.0);
+        assert_eq!(s.overflow_count(), 10);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_schedule() {
+        let mut a = LossScaler::new(256.0);
+        for _ in 0..1500 {
+            a.update_with(false);
+        }
+        a.update_with(true);
+        let b = LossScaler::from_state(a.scale(), a.good_steps(), a.overflow_count());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn external_overflow_flag_equivalent() {
+        let mut a = LossScaler::new(64.0);
+        let mut b = LossScaler::new(64.0);
+        a.update(&[f32::NAN]);
+        b.update_with(true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn nonpositive_scale_rejected() {
+        let _ = LossScaler::new(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! In-place rollback for speculative optimizer steps.
+//!
+//! Speculation-then-validation (§4.4) starts the optimizer step before the
+//! global gradient norm and NaN/Inf checks complete. If validation later
+//! fails, the update must be reverted exactly — parameters *and* Adam
+//! moments — and either skipped (overflow) or re-executed with clipped
+//! gradients. [`RollbackGuard`] captures the pre-step state of a parameter
+//! range so the revert is bit-exact.
+
+use crate::adam::AdamState;
+
+/// Snapshot of a parameter range (params + Adam moments) taken before a
+/// speculative step.
+///
+/// The guard is deliberately explicit — no `Drop` magic — because the STV
+/// engine decides *after* the fact whether to [`RollbackGuard::restore`] or
+/// simply drop the guard to commit.
+#[derive(Debug, Clone)]
+pub struct RollbackGuard {
+    offset: usize,
+    params: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl RollbackGuard {
+    /// Captures `params[offset..offset + len]` and the matching moment
+    /// ranges from `state`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds for either buffer.
+    pub fn capture(params: &[f32], state: &AdamState, offset: usize, len: usize) -> Self {
+        assert!(
+            offset + len <= params.len(),
+            "rollback range {offset}+{len} exceeds params len {}",
+            params.len()
+        );
+        assert!(
+            offset + len <= state.m.len(),
+            "rollback range exceeds optimizer state"
+        );
+        RollbackGuard {
+            offset,
+            params: params[offset..offset + len].to_vec(),
+            m: state.m[offset..offset + len].to_vec(),
+            v: state.v[offset..offset + len].to_vec(),
+        }
+    }
+
+    /// Captures the entire parameter vector.
+    pub fn capture_all(params: &[f32], state: &AdamState) -> Self {
+        Self::capture(params, state, 0, params.len())
+    }
+
+    /// Start of the captured range.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Length of the captured range.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the captured range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Restores the captured range into `params` and `state`, undoing any
+    /// speculative update bit-exactly.
+    ///
+    /// # Panics
+    /// Panics if the buffers have shrunk below the captured range.
+    pub fn restore(&self, params: &mut [f32], state: &mut AdamState) {
+        let r = self.offset..self.offset + self.params.len();
+        params[r.clone()].copy_from_slice(&self.params);
+        state.m[r.clone()].copy_from_slice(&self.m);
+        state.v[r].copy_from_slice(&self.v);
+    }
+
+    /// Heap bytes held by this snapshot (3 copies of the range).
+    pub fn snapshot_bytes(&self) -> usize {
+        3 * self.params.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::{AdamConfig, AdamStepper, CpuAdam};
+    use tensorlite::XorShiftRng;
+
+    fn problem(n: usize) -> (Vec<f32>, Vec<f32>, AdamState) {
+        let mut rng = XorShiftRng::new(5);
+        let p: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let g: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        (p, g, AdamState::new(n))
+    }
+
+    #[test]
+    fn restore_is_bit_exact() {
+        let (mut p, g, mut s) = problem(1000);
+        let before_p = p.clone();
+        let before_m = s.m.clone();
+        let guard = RollbackGuard::capture_all(&p, &s);
+        CpuAdam.step(&AdamConfig::default(), 1, &mut p, &g, &mut s);
+        assert_ne!(p, before_p, "step should change params");
+        guard.restore(&mut p, &mut s);
+        assert_eq!(p, before_p);
+        assert_eq!(s.m, before_m);
+        assert_eq!(s.v, vec![0.0; 1000]);
+    }
+
+    #[test]
+    fn partial_range_rollback_leaves_rest_untouched() {
+        let (mut p, g, mut s) = problem(100);
+        let guard = RollbackGuard::capture(&p, &s, 10, 20);
+        let before = p.clone();
+        CpuAdam.step(&AdamConfig::default(), 1, &mut p, &g, &mut s);
+        let stepped = p.clone();
+        guard.restore(&mut p, &mut s);
+        // Range [10, 30) reverted; everything else keeps the stepped values.
+        assert_eq!(&p[10..30], &before[10..30]);
+        assert_eq!(&p[..10], &stepped[..10]);
+        assert_eq!(&p[30..], &stepped[30..]);
+    }
+
+    #[test]
+    fn rollback_then_clipped_restep_equals_synchronous_clipped_step() {
+        // The STV re-execution path: speculative step, rollback, clip, step
+        // again — must equal stepping with clipped gradients directly.
+        let cfg = AdamConfig::default();
+        let (p0, g, s0) = problem(256);
+        let clip = 0.25f32;
+        let clipped: Vec<f32> = g.iter().map(|x| x * clip).collect();
+
+        // Path A: synchronous clipped step.
+        let mut p_sync = p0.clone();
+        let mut s_sync = s0.clone();
+        CpuAdam.step(&cfg, 1, &mut p_sync, &clipped, &mut s_sync);
+
+        // Path B: speculate with raw grads, roll back, re-step with clipped.
+        let mut p_spec = p0.clone();
+        let mut s_spec = s0.clone();
+        let guard = RollbackGuard::capture_all(&p_spec, &s_spec);
+        CpuAdam.step(&cfg, 1, &mut p_spec, &g, &mut s_spec);
+        guard.restore(&mut p_spec, &mut s_spec);
+        CpuAdam.step(&cfg, 1, &mut p_spec, &clipped, &mut s_spec);
+
+        assert_eq!(p_sync, p_spec);
+        assert_eq!(s_sync.m, s_spec.m);
+        assert_eq!(s_sync.v, s_spec.v);
+    }
+
+    #[test]
+    fn snapshot_bytes_accounting() {
+        let (p, _, s) = problem(100);
+        let guard = RollbackGuard::capture(&p, &s, 0, 50);
+        assert_eq!(guard.snapshot_bytes(), 3 * 50 * 4);
+        assert_eq!(guard.len(), 50);
+        assert!(!guard.is_empty());
+        assert_eq!(guard.offset(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds params len")]
+    fn out_of_range_capture_panics() {
+        let (p, _, s) = problem(10);
+        let _ = RollbackGuard::capture(&p, &s, 5, 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of optimizer numerics, clipping, and rollback.
+
+use grace_optim::adam::{reference_step, AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam};
+use grace_optim::clip::{apply_clip, clip_factor, global_grad_norm};
+use grace_optim::mixed_precision::LossScaler;
+use grace_optim::rollback::RollbackGuard;
+use proptest::prelude::*;
+
+fn arb_problem(max_n: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1..max_n).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-5.0f32..5.0, n),
+            prop::collection::vec(-1.0f32..1.0, n),
+        )
+    })
+}
+
+proptest! {
+    /// All three Adam implementations (and any tile/thread split) are
+    /// bit-identical to the scalar reference.
+    #[test]
+    fn steppers_bit_identical((p0, g) in arb_problem(2000),
+                              tile in 1usize..300, threads in 1usize..8, step in 1u64..20) {
+        let cfg = AdamConfig { weight_decay: 0.01, ..AdamConfig::default() };
+        let n = p0.len();
+
+        let mut p_ref = p0.clone();
+        let mut s_ref = AdamState::new(n);
+        reference_step(&cfg, step, &mut p_ref, &g, &mut s_ref);
+
+        for stepper in [&NaiveAdam as &dyn AdamStepper, &CpuAdam, &GraceAdam::new(tile, threads)] {
+            let mut p = p0.clone();
+            let mut s = AdamState::new(n);
+            stepper.step(&cfg, step, &mut p, &g, &mut s);
+            prop_assert_eq!(&p, &p_ref, "{} params differ", stepper.name());
+            prop_assert_eq!(&s.m, &s_ref.m, "{} m differ", stepper.name());
+            prop_assert_eq!(&s.v, &s_ref.v, "{} v differ", stepper.name());
+        }
+    }
+
+    /// Adam updates are bounded: |Δp| <= lr * (1/(1-beta1) + wd*|p|)-ish.
+    /// We check the practical bound |Δp| <= 3 * lr * (1 + wd * |p|).
+    #[test]
+    fn update_magnitude_bounded((p0, g) in arb_problem(500)) {
+        let cfg = AdamConfig::default();
+        let mut p = p0.clone();
+        let mut s = AdamState::new(p.len());
+        CpuAdam.step(&cfg, 1, &mut p, &g, &mut s);
+        for (before, after) in p0.iter().zip(&p) {
+            let delta = (after - before).abs();
+            prop_assert!(delta <= 3.0 * cfg.lr * (1.0 + before.abs()),
+                "delta {delta} too large (before {before})");
+        }
+    }
+
+    /// Second moments are always non-negative.
+    #[test]
+    fn second_moments_nonnegative((p0, g) in arb_problem(500), steps in 1u64..10) {
+        let cfg = AdamConfig::default();
+        let mut p = p0;
+        let mut s = AdamState::new(p.len());
+        for t in 1..=steps {
+            CpuAdam.step(&cfg, t, &mut p, &g, &mut s);
+        }
+        prop_assert!(s.v.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Clipping brings any gradient within the bound (or leaves it alone).
+    #[test]
+    fn clipping_enforces_bound(g in prop::collection::vec(-100.0f32..100.0, 1..500),
+                               max_norm in 0.1f64..50.0) {
+        let norm = global_grad_norm([g.as_slice()]);
+        let f = clip_factor(norm, max_norm);
+        let mut clipped = g.clone();
+        apply_clip(&mut clipped, f);
+        let new_norm = global_grad_norm([clipped.as_slice()]);
+        prop_assert!(new_norm <= max_norm * 1.0001, "norm {new_norm} > {max_norm}");
+        if norm <= max_norm {
+            prop_assert_eq!(clipped, g, "should be untouched when within bound");
+        }
+    }
+
+    /// Sharded norm equals whole-vector norm regardless of the split point.
+    #[test]
+    fn norm_is_shard_invariant(g in prop::collection::vec(-10.0f32..10.0, 2..200),
+                               split_frac in 0.0f64..1.0) {
+        let split = ((g.len() as f64 * split_frac) as usize).min(g.len());
+        let whole = global_grad_norm([g.as_slice()]);
+        let parts = global_grad_norm([&g[..split], &g[split..]]);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// Rollback after any speculative step restores state bit-exactly.
+    #[test]
+    fn rollback_always_exact((p0, g) in arb_problem(1000), step in 1u64..5) {
+        let cfg = AdamConfig::default();
+        let mut p = p0.clone();
+        let mut s = AdamState::new(p.len());
+        // Pre-warm one step so moments are non-trivial.
+        CpuAdam.step(&cfg, step, &mut p, &g, &mut s);
+        let p_before = p.clone();
+        let m_before = s.m.clone();
+        let v_before = s.v.clone();
+
+        let guard = RollbackGuard::capture_all(&p, &s);
+        CpuAdam.step(&cfg, step + 1, &mut p, &g, &mut s);
+        guard.restore(&mut p, &mut s);
+        prop_assert_eq!(p, p_before);
+        prop_assert_eq!(s.m, m_before);
+        prop_assert_eq!(s.v, v_before);
+    }
+
+    /// The loss scaler never reaches a non-positive or non-finite scale.
+    #[test]
+    fn scaler_scale_stays_valid(events in prop::collection::vec(any::<bool>(), 0..3000)) {
+        let mut s = LossScaler::default();
+        for overflow in events {
+            s.update_with(overflow);
+            prop_assert!(s.scale() >= 1.0);
+            prop_assert!(s.scale().is_finite());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Model configurations (paper Appendix A, Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A GPT/LLaMA-style transformer configuration.
+///
+/// The paper varies hidden dimension and depth to hit target parameter
+/// counts; [`ModelConfig::appendix_a`] reproduces its exact table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Display name ("5B", "25B", ...).
+    pub name: String,
+    /// Number of transformer blocks.
+    pub layers: u32,
+    /// Hidden (model) dimension.
+    pub hidden: u32,
+    /// Attention head count (hidden / 128 by convention here).
+    pub heads: u32,
+    /// Vocabulary size (GPT-2 BPE by default).
+    pub vocab: u32,
+    /// Maximum sequence length the model is configured for.
+    pub max_seq: u32,
+}
+
+impl ModelConfig {
+    /// Creates a configuration with GPT-2 vocabulary and conventional head
+    /// sizing (128 dims per head).
+    pub fn new(name: impl Into<String>, layers: u32, hidden: u32) -> Self {
+        ModelConfig {
+            name: name.into(),
+            layers,
+            hidden,
+            heads: (hidden / 128).max(1),
+            vocab: 50_257,
+            max_seq: 2048,
+        }
+    }
+
+    /// Exact trainable-parameter count.
+    ///
+    /// Per block: QKV (3H²+3H), attention projection (H²+H), MLP up/down
+    /// (8H²+5H), two LayerNorms (4H). Plus token embedding (V·H) and a final
+    /// LayerNorm (2H). The LM head is tied to the embedding, and positions
+    /// are rotary (RoPE, as in LLaMA) so the count is independent of
+    /// `max_seq` — which is what lets the long-context experiments extend
+    /// the context window without growing the model.
+    pub fn param_count(&self) -> u64 {
+        let h = self.hidden as u64;
+        let l = self.layers as u64;
+        let v = self.vocab as u64;
+        let per_block = 12 * h * h + 13 * h;
+        l * per_block + v * h + 2 * h
+    }
+
+    /// Parameter count in billions (for display).
+    pub fn param_billions(&self) -> f64 {
+        self.param_count() as f64 / 1e9
+    }
+
+    /// The paper's 5B configuration (44 layers, hidden 3072), used by the
+    /// ablation study in Table 2.
+    pub fn appendix_a_5b() -> Self {
+        Self::new("5B", 44, 3072)
+    }
+
+    /// All configurations from Appendix A, Table 4.
+    pub fn appendix_a() -> Vec<ModelConfig> {
+        vec![
+            Self::new("1B", 20, 2048),
+            Self::new("2B", 40, 2048),
+            Self::new("3B", 60, 2048),
+            Self::new("4B", 64, 2304),
+            Self::new("5B", 44, 3072),
+            Self::new("6B", 53, 3072),
+            Self::new("8B", 72, 3072),
+            Self::new("10B", 50, 4096),
+            Self::new("11B", 55, 4096),
+            Self::new("12B", 60, 4096),
+            Self::new("13B", 65, 4096),
+            Self::new("15B", 78, 4096),
+            Self::new("20B", 25, 8192),
+            Self::new("25B", 30, 8192),
+            Self::new("50B", 60, 8192),
+            Self::new("60B", 75, 8192),
+            Self::new("70B", 87, 8192),
+            Self::new("80B", 100, 8192),
+            Self::new("150B", 45, 16384),
+            Self::new("200B", 60, 16384),
+        ]
+    }
+
+    /// Looks up an Appendix-A configuration by name ("5B", "25B", ...).
+    pub fn by_name(name: &str) -> Option<ModelConfig> {
+        Self::appendix_a().into_iter().find(|c| c.name == name)
+    }
+
+    /// A synthetic configuration hitting roughly `billions` parameters with
+    /// hidden size 4096 — used for capacity sweeps between table entries.
+    pub fn synthetic(billions: f64) -> Self {
+        let hidden = 4096u64;
+        // 12 L H^2 ≈ billions * 1e9
+        let layers = ((billions * 1e9) / (12.0 * (hidden * hidden) as f64))
+            .round()
+            .max(1.0) as u32;
+        ModelConfig::new(format!("{billions:.1}B"), layers, hidden as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_a_counts_match_nominal_sizes() {
+        // Each config's exact parameter count should be within 15% of its
+        // nominal billions (the paper's table is itself approximate).
+        for cfg in ModelConfig::appendix_a() {
+            let nominal: f64 = cfg.name.trim_end_matches('B').parse().unwrap();
+            let actual = cfg.param_billions();
+            let rel = (actual - nominal).abs() / nominal;
+            assert!(
+                rel < 0.15,
+                "{}: nominal {nominal}B but counted {actual:.2}B",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn table4_rows_present() {
+        let cfgs = ModelConfig::appendix_a();
+        let find = |n: &str| cfgs.iter().find(|c| c.name == n).unwrap();
+        assert_eq!((find("1B").layers, find("1B").hidden), (20, 2048));
+        assert_eq!((find("4B").layers, find("4B").hidden), (64, 2304));
+        assert_eq!((find("15B").layers, find("15B").hidden), (78, 4096));
+        assert_eq!((find("25B").layers, find("25B").hidden), (30, 8192));
+        assert_eq!((find("200B").layers, find("200B").hidden), (60, 16384));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(ModelConfig::by_name("13B").is_some());
+        assert!(ModelConfig::by_name("nope").is_none());
+        assert_eq!(ModelConfig::by_name("5B").unwrap(), ModelConfig::appendix_a_5b());
+    }
+
+    #[test]
+    fn param_count_monotone_in_depth_and_width() {
+        let a = ModelConfig::new("a", 10, 1024);
+        let deeper = ModelConfig::new("b", 20, 1024);
+        let wider = ModelConfig::new("c", 10, 2048);
+        assert!(deeper.param_count() > a.param_count());
+        assert!(wider.param_count() > a.param_count());
+    }
+
+    #[test]
+    fn synthetic_hits_target() {
+        for b in [3.0, 7.0, 30.0, 100.0] {
+            let cfg = ModelConfig::synthetic(b);
+            let rel = (cfg.param_billions() - b).abs() / b;
+            assert!(rel < 0.25, "target {b}B got {:.2}B", cfg.param_billions());
+        }
+    }
+
+    #[test]
+    fn heads_divide_hidden() {
+        for cfg in ModelConfig::appendix_a() {
+            assert_eq!(cfg.hidden % cfg.heads, 0);
+        }
+    }
+}

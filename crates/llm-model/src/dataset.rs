@@ -1,0 +1,176 @@
+//! Synthetic training data — the substitute for the paper's Pile subset.
+//!
+//! The stream mixes a deterministic next-token rule with uniform noise, so a
+//! model can learn real structure (loss decreases from `ln(vocab)` toward the
+//! mixture entropy floor) while staying fully reproducible — which is what
+//! the convergence and rollback experiments (Fig. 14) need from a dataset.
+
+use tensorlite::XorShiftRng;
+
+/// A seeded, infinite synthetic token stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticPile {
+    vocab: usize,
+    /// Probability of following the deterministic rule (vs uniform noise).
+    signal: f32,
+    rng: XorShiftRng,
+    state: usize,
+}
+
+impl SyntheticPile {
+    /// Default signal probability (fraction of learnable transitions).
+    pub const DEFAULT_SIGNAL: f32 = 0.85;
+
+    /// Creates a stream over a `vocab`-token alphabet.
+    ///
+    /// # Panics
+    /// Panics if `vocab < 2`.
+    pub fn new(vocab: usize, seed: u64) -> Self {
+        assert!(vocab >= 2, "vocabulary must have at least two tokens");
+        SyntheticPile {
+            vocab,
+            signal: Self::DEFAULT_SIGNAL,
+            rng: XorShiftRng::new(seed),
+            state: seed as usize % vocab,
+        }
+    }
+
+    /// Overrides the signal probability (1.0 = fully deterministic).
+    ///
+    /// # Panics
+    /// Panics unless `0 <= signal <= 1`.
+    #[must_use]
+    pub fn with_signal(mut self, signal: f32) -> Self {
+        assert!((0.0..=1.0).contains(&signal), "signal must be in [0, 1]");
+        self.signal = signal;
+        self
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// The deterministic successor rule.
+    fn rule(&self, token: usize) -> usize {
+        (token * 3 + 7) % self.vocab
+    }
+
+    /// Next token of the stream.
+    pub fn next_token(&mut self) -> usize {
+        let next = if self.rng.next_f32() < self.signal {
+            self.rule(self.state)
+        } else {
+            self.rng.next_usize(self.vocab)
+        };
+        self.state = next;
+        next
+    }
+
+    /// Produces one `(input, target)` pair of length `seq` (targets are the
+    /// inputs shifted by one, as in language modeling).
+    pub fn next_sequence(&mut self, seq: usize) -> (Vec<usize>, Vec<usize>) {
+        let raw: Vec<usize> = (0..seq + 1).map(|_| self.next_token()).collect();
+        (raw[..seq].to_vec(), raw[1..].to_vec())
+    }
+
+    /// Produces a batch of sequence pairs.
+    pub fn next_batch(&mut self, batch: usize, seq: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        (0..batch).map(|_| self.next_sequence(seq)).collect()
+    }
+
+    /// Entropy floor of the stream in nats — the best achievable
+    /// cross-entropy for a model that has fully learned the rule.
+    pub fn entropy_floor(&self) -> f32 {
+        let s = self.signal as f64;
+        let v = self.vocab as f64;
+        // With prob s the rule fires (but noise can also emit the rule token):
+        // P(rule token) = s + (1-s)/V, other tokens (1-s)/V each.
+        let p_rule = s + (1.0 - s) / v;
+        let p_other = (1.0 - s) / v;
+        let mut h = -p_rule * p_rule.ln();
+        if p_other > 0.0 {
+            h -= (v - 1.0) * p_other * p_other.ln();
+        }
+        h as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SyntheticPile::new(64, 42);
+        let mut b = SyntheticPile::new(64, 42);
+        let (xa, ya) = a.next_sequence(32);
+        let (xb, yb) = b.next_sequence(32);
+        assert_eq!(xa, xb);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn targets_are_shifted_inputs() {
+        let mut s = SyntheticPile::new(64, 7);
+        let (x, y) = s.next_sequence(16);
+        assert_eq!(x.len(), 16);
+        assert_eq!(y.len(), 16);
+        assert_eq!(&x[1..], &y[..15]);
+    }
+
+    #[test]
+    fn tokens_stay_in_vocab() {
+        let mut s = SyntheticPile::new(17, 3);
+        for _ in 0..1000 {
+            assert!(s.next_token() < 17);
+        }
+    }
+
+    #[test]
+    fn signal_rule_dominates_transitions() {
+        let mut s = SyntheticPile::new(64, 5);
+        let mut follow = 0;
+        let mut total = 0;
+        let mut prev = s.next_token();
+        for _ in 0..5000 {
+            let next = s.next_token();
+            let expected = (prev * 3 + 7) % 64;
+            if next == expected {
+                follow += 1;
+            }
+            total += 1;
+            prev = next;
+        }
+        let frac = follow as f32 / total as f32;
+        assert!(
+            (frac - SyntheticPile::DEFAULT_SIGNAL).abs() < 0.05,
+            "rule-following fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn batch_shape() {
+        let mut s = SyntheticPile::new(32, 1);
+        let b = s.next_batch(4, 8);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|(x, y)| x.len() == 8 && y.len() == 8));
+    }
+
+    #[test]
+    fn entropy_floor_below_uniform() {
+        let s = SyntheticPile::new(64, 1);
+        let floor = s.entropy_floor();
+        assert!(floor > 0.0);
+        assert!(floor < (64f32).ln());
+        // Fully deterministic stream has (near) zero entropy.
+        let det = SyntheticPile::new(64, 1).with_signal(1.0);
+        assert!(det.entropy_floor() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tokens")]
+    fn tiny_vocab_rejected() {
+        let _ = SyntheticPile::new(1, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Training FLOP accounting.
+//!
+//! Follows the paper's approximations: forward compute of a transformer is
+//! `2 · params · tokens` for the parameter-dependent GEMMs (§4.2), plus the
+//! attention term `2 · layers · hidden · seq · tokens` (causal) which
+//! dominates at very long sequences (the Ulysses experiments). Backward
+//! costs twice the forward. Recomputation (activation checkpointing) adds
+//! one extra forward but is *excluded* from effective-throughput TFLOPS,
+//! matching §5.2 ("we exclude recomputation volume when calculating
+//! TFLOPS").
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// FLOP totals for one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingFlops {
+    /// Forward-pass FLOPs (parameter GEMMs + attention).
+    pub forward: f64,
+    /// Backward-pass FLOPs (2× forward).
+    pub backward: f64,
+    /// Extra recomputation FLOPs (one forward) if checkpointing is on.
+    pub recompute: f64,
+}
+
+impl TrainingFlops {
+    /// FLOPs for one iteration of `cfg` at the given global batch and
+    /// sequence length.
+    pub fn for_iteration(cfg: &ModelConfig, batch: u32, seq: u64, checkpointing: bool) -> Self {
+        let tokens = batch as u64 * seq;
+        let forward = forward_flops(cfg, tokens, seq);
+        TrainingFlops {
+            forward,
+            backward: 2.0 * forward,
+            recompute: if checkpointing { forward } else { 0.0 },
+        }
+    }
+
+    /// FLOPs the hardware actually executes (includes recomputation).
+    pub fn executed(&self) -> f64 {
+        self.forward + self.backward + self.recompute
+    }
+
+    /// FLOPs counted for throughput reporting (excludes recomputation).
+    pub fn effective(&self) -> f64 {
+        self.forward + self.backward
+    }
+
+    /// Model FLOPs Utilization given an iteration time and a per-GPU peak,
+    /// aggregated over `gpus`.
+    pub fn mfu(&self, iter_secs: f64, gpu_peak_flops: f64, gpus: u32) -> f64 {
+        self.effective() / (iter_secs * gpu_peak_flops * gpus as f64)
+    }
+}
+
+/// Forward FLOPs: parameter GEMMs plus causal attention.
+pub fn forward_flops(cfg: &ModelConfig, tokens: u64, seq: u64) -> f64 {
+    let gemm = 2.0 * cfg.param_count() as f64 * tokens as f64;
+    // Causal attention: QK^T and AV are each 2·h·s² per layer per sequence;
+    // causality halves the effective work: total 2·L·h·s·tokens.
+    let attn = 2.0 * cfg.layers as f64 * cfg.hidden as f64 * seq as f64 * tokens as f64;
+    gemm + attn
+}
+
+/// Throughput in TFLOPS given effective FLOPs and iteration time.
+pub fn tflops(effective_flops: f64, iter_secs: f64) -> f64 {
+    effective_flops / iter_secs / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::appendix_a_5b()
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let f = TrainingFlops::for_iteration(&cfg(), 8, 2048, false);
+        assert_eq!(f.backward, 2.0 * f.forward);
+        assert_eq!(f.recompute, 0.0);
+        assert_eq!(f.executed(), f.effective());
+    }
+
+    #[test]
+    fn checkpointing_adds_one_forward_to_executed_only() {
+        let base = TrainingFlops::for_iteration(&cfg(), 8, 2048, false);
+        let ckpt = TrainingFlops::for_iteration(&cfg(), 8, 2048, true);
+        assert_eq!(ckpt.effective(), base.effective());
+        assert!((ckpt.executed() - (base.executed() + base.forward)).abs() < 1.0);
+    }
+
+    #[test]
+    fn gemm_term_matches_2_params_tokens_at_short_seq() {
+        // At seq 1024 the attention term is small relative to GEMMs for 5B.
+        let tokens = 8 * 1024u64;
+        let f = forward_flops(&cfg(), tokens, 1024);
+        let gemm = 2.0 * cfg().param_count() as f64 * tokens as f64;
+        assert!(f / gemm < 1.1, "attention should be <10% at seq 1024");
+    }
+
+    #[test]
+    fn attention_dominates_at_million_tokens() {
+        let cfg = ModelConfig::by_name("13B").unwrap();
+        let seq = 1u64 << 20;
+        let f = forward_flops(&cfg, seq, seq);
+        let gemm = 2.0 * cfg.param_count() as f64 * seq as f64;
+        assert!(f > 3.0 * gemm, "attention must dominate at 1M tokens");
+    }
+
+    #[test]
+    fn mfu_is_fraction_of_peak() {
+        let f = TrainingFlops::for_iteration(&cfg(), 8, 2048, false);
+        // If the iteration ran exactly at peak, MFU == 1.
+        let iter = f.effective() / 990e12;
+        let mfu = f.mfu(iter, 990e12, 1);
+        assert!((mfu - 1.0).abs() < 1e-12);
+        // Half speed -> MFU 0.5.
+        let mfu = f.mfu(2.0 * iter, 990e12, 1);
+        assert!((mfu - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tflops_helper() {
+        assert_eq!(tflops(2e12, 2.0), 1.0);
+    }
+}

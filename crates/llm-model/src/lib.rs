@@ -1,0 +1,41 @@
+//! Transformer model definitions for the SuperOffload reproduction.
+//!
+//! Two faces of the same model family:
+//!
+//! - **Accounting** ([`config`], [`memory`], [`flops`]): the GPT/LLaMA-style
+//!   configurations of the paper's Appendix A, with exact parameter counts,
+//!   mixed-precision model-state memory (the 16Ψ rule), activation memory,
+//!   and training-FLOP formulas. These drive the performance plane.
+//! - **Execution** ([`transformer`], [`dataset`]): a real miniature GPT with
+//!   exact manual backward over a flat parameter store, plus a synthetic
+//!   Pile-like token stream. These drive the numeric plane (convergence and
+//!   speculation-then-validation exactness experiments).
+//!
+//! # Example
+//!
+//! ```
+//! use llm_model::config::ModelConfig;
+//!
+//! let cfg = ModelConfig::appendix_a_5b();
+//! assert_eq!(cfg.layers, 44);
+//! assert_eq!(cfg.hidden, 3072);
+//! // ~5B parameters
+//! assert!((cfg.param_count() as f64 / 1e9 - 5.0).abs() < 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod dataset;
+pub mod flops;
+pub mod memory;
+pub mod transformer;
+pub mod workload;
+
+pub use config::ModelConfig;
+pub use dataset::SyntheticPile;
+pub use flops::TrainingFlops;
+pub use memory::{ActivationMemory, ModelStateMemory};
+pub use transformer::{GptConfig, GptModel};
+pub use workload::{ExecutionPlan, Workload};

@@ -1,0 +1,193 @@
+//! Memory accounting for mixed-precision training.
+//!
+//! The paper's §2.2 states the 16Ψ rule: a Ψ-parameter model in
+//! Adam mixed-precision training holds 2Ψ bytes of FP16 parameters, 2Ψ of
+//! FP16 gradients, and 12Ψ of FP32 optimizer state (master weights, momentum,
+//! variance). This module makes every component explicit so offloading
+//! policies can place them individually.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+
+/// Byte sizes of each model-state component for a Ψ-parameter model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelStateMemory {
+    /// FP16 working parameters (2Ψ).
+    pub fp16_params: u64,
+    /// FP16 gradients (2Ψ).
+    pub fp16_grads: u64,
+    /// FP32 master parameters (4Ψ).
+    pub fp32_params: u64,
+    /// FP32 Adam momentum (4Ψ).
+    pub momentum: u64,
+    /// FP32 Adam variance (4Ψ).
+    pub variance: u64,
+}
+
+impl ModelStateMemory {
+    /// Accounting for `params` trainable parameters.
+    pub fn for_params(params: u64) -> Self {
+        ModelStateMemory {
+            fp16_params: 2 * params,
+            fp16_grads: 2 * params,
+            fp32_params: 4 * params,
+            momentum: 4 * params,
+            variance: 4 * params,
+        }
+    }
+
+    /// Accounting for a model configuration.
+    pub fn for_config(cfg: &ModelConfig) -> Self {
+        Self::for_params(cfg.param_count())
+    }
+
+    /// FP32 optimizer state total (12Ψ: master + momentum + variance).
+    pub fn optimizer_states(&self) -> u64 {
+        self.fp32_params + self.momentum + self.variance
+    }
+
+    /// Grand total (16Ψ).
+    pub fn total(&self) -> u64 {
+        self.fp16_params + self.fp16_grads + self.optimizer_states()
+    }
+
+    /// What remains on GPU under ZeRO-Offload-style placement (weights
+    /// stationary, gradients transient on GPU): 4Ψ.
+    pub fn gpu_resident_weight_stationary(&self) -> u64 {
+        self.fp16_params + self.fp16_grads
+    }
+
+    /// What moves to CPU under ZeRO-Offload-style placement: 12Ψ.
+    pub fn cpu_resident_weight_stationary(&self) -> u64 {
+        self.optimizer_states()
+    }
+}
+
+/// Activation-memory model.
+///
+/// Uses the flash-attention-era approximation of ~16 bytes per token per
+/// layer per hidden unit... more precisely: `ACT_BYTES_PER_TOKEN_PER_LAYER *
+/// hidden` bytes of half-precision activations per token per transformer
+/// block (attention scores never materialized). This calibrates to the
+/// paper's example: a 7B model at 1M tokens needs ≈2 TB of activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationMemory {
+    /// Bytes of activations that must be live for the backward pass.
+    pub bytes: u64,
+    /// Whether activation checkpointing was applied.
+    pub checkpointed: bool,
+}
+
+/// Half-precision activation bytes per token, per layer, per hidden unit.
+pub const ACT_BYTES_PER_HIDDEN: u64 = 16;
+
+impl ActivationMemory {
+    /// Full activation footprint (no checkpointing) for a micro-batch.
+    pub fn full(cfg: &ModelConfig, micro_batch: u32, seq: u64) -> Self {
+        let tokens = micro_batch as u64 * seq;
+        let per_layer = tokens * cfg.hidden as u64 * ACT_BYTES_PER_HIDDEN;
+        ActivationMemory {
+            bytes: per_layer * cfg.layers as u64 + Self::embedding_bytes(cfg, tokens),
+            checkpointed: false,
+        }
+    }
+
+    /// Footprint with full activation checkpointing: only each block's input
+    /// is retained (2 bytes/elem), plus one block's full activations that are
+    /// recomputed at a time.
+    pub fn checkpointed(cfg: &ModelConfig, micro_batch: u32, seq: u64) -> Self {
+        let tokens = micro_batch as u64 * seq;
+        let boundary = 2 * tokens * cfg.hidden as u64; // fp16 block inputs
+        let one_layer_full = tokens * cfg.hidden as u64 * ACT_BYTES_PER_HIDDEN;
+        let bytes = boundary * cfg.layers as u64
+            + one_layer_full
+            + Self::embedding_bytes(cfg, tokens);
+        ActivationMemory {
+            // For very shallow models the boundary overhead can exceed the
+            // savings; a runtime would simply not checkpoint then.
+            bytes: bytes.min(Self::full(cfg, micro_batch, seq).bytes),
+            checkpointed: true,
+        }
+    }
+
+    fn embedding_bytes(cfg: &ModelConfig, tokens: u64) -> u64 {
+        // Input embeddings + final logits working set (fp16).
+        2 * tokens * cfg.hidden as u64
+    }
+}
+
+/// Bytes of a parameter tensor at FP16.
+pub fn fp16_bytes(params: u64) -> u64 {
+    2 * params
+}
+
+/// Bytes of a parameter tensor at FP32.
+pub fn fp32_bytes(params: u64) -> u64 {
+    4 * params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_psi_rule() {
+        let m = ModelStateMemory::for_params(1_000);
+        assert_eq!(m.total(), 16_000);
+        assert_eq!(m.optimizer_states(), 12_000);
+        assert_eq!(m.gpu_resident_weight_stationary(), 4_000);
+        assert_eq!(m.cpu_resident_weight_stationary(), 12_000);
+    }
+
+    #[test]
+    fn paper_example_6b_fills_h100() {
+        // §2.2: an H100 with 96 GB can hold at most ~6B parameters of model
+        // states (16Ψ = 96 GB at Ψ = 6B).
+        let m = ModelStateMemory::for_params(6_000_000_000);
+        assert_eq!(m.total(), 96_000_000_000);
+    }
+
+    #[test]
+    fn paper_example_7b_model_states() {
+        // §4.2: "a 7B-parameter model requires 112GB for model states".
+        let m = ModelStateMemory::for_params(7_000_000_000);
+        assert_eq!(m.total(), 112_000_000_000);
+    }
+
+    #[test]
+    fn paper_example_7b_activations_at_1m_tokens() {
+        // §4.2: "...needs 2TB of memory for activations with a sequence
+        // length of 1 million tokens".
+        let cfg = crate::config::ModelConfig::new("7B", 32, 4096);
+        let act = ActivationMemory::full(&cfg, 1, 1 << 20);
+        let tb = act.bytes as f64 / 1e12;
+        assert!((1.5..3.0).contains(&tb), "expected ~2 TB, got {tb:.2} TB");
+    }
+
+    #[test]
+    fn checkpointing_shrinks_activations_substantially() {
+        let cfg = crate::config::ModelConfig::appendix_a_5b();
+        let full = ActivationMemory::full(&cfg, 8, 2048);
+        let ckpt = ActivationMemory::checkpointed(&cfg, 8, 2048);
+        assert!(ckpt.bytes < full.bytes / 4);
+        assert!(ckpt.checkpointed);
+        assert!(!full.checkpointed);
+    }
+
+    #[test]
+    fn activation_memory_scales_linearly_with_batch_and_seq() {
+        let cfg = crate::config::ModelConfig::appendix_a_5b();
+        let a = ActivationMemory::full(&cfg, 1, 1024).bytes;
+        let b = ActivationMemory::full(&cfg, 2, 1024).bytes;
+        let c = ActivationMemory::full(&cfg, 1, 2048).bytes;
+        assert_eq!(b, 2 * a);
+        assert_eq!(c, 2 * a);
+    }
+
+    #[test]
+    fn byte_helpers() {
+        assert_eq!(fp16_bytes(10), 20);
+        assert_eq!(fp32_bytes(10), 40);
+    }
+}

@@ -1,0 +1,181 @@
+//! Training workloads and memory-fit planning arithmetic.
+//!
+//! A [`Workload`] is *what the user asked for* (model, global batch,
+//! sequence length). Each training system plans *how* to execute it —
+//! micro-batch size, gradient accumulation, activation checkpointing — under
+//! its own memory placement. The paper's methodology (§5.2) is: when the
+//! batch does not fit, try (a) gradient accumulation with smaller
+//! micro-batches and (b) activation checkpointing at the largest fitting
+//! micro-batch, and report the better plan. [`ExecutionPlan::best`]
+//! implements exactly that search given the bytes a system keeps resident on
+//! the GPU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::memory::ActivationMemory;
+
+/// A requested training workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Model configuration.
+    pub config: ModelConfig,
+    /// Global batch size (sequences per optimizer step, per data-parallel
+    /// rank).
+    pub global_batch: u32,
+    /// Sequence length in tokens.
+    pub seq: u64,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(config: ModelConfig, global_batch: u32, seq: u64) -> Self {
+        Workload {
+            config,
+            global_batch,
+            seq,
+        }
+    }
+
+    /// Tokens processed per optimizer step.
+    pub fn tokens(&self) -> u64 {
+        self.global_batch as u64 * self.seq
+    }
+}
+
+/// How a system executes a workload on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Sequences per forward/backward pass.
+    pub micro_batch: u32,
+    /// Gradient-accumulation steps (`micro_batch * accum == global_batch`).
+    pub accum_steps: u32,
+    /// Whether activation checkpointing is on.
+    pub checkpointing: bool,
+    /// Peak activation bytes under this plan.
+    pub activation_bytes: u64,
+}
+
+impl ExecutionPlan {
+    /// Finds the best execution plan for `workload` given `gpu_budget` bytes
+    /// available for activations (GPU capacity minus the system's resident
+    /// model state), following the paper's two-strategy search: gradient
+    /// accumulation with smaller micro-batches, or activation checkpointing
+    /// at the largest fitting micro-batch, reporting the faster plan.
+    ///
+    /// Recomputation adds a full extra forward (~33% more executed FLOPs)
+    /// while a smaller micro-batch only adds per-launch overhead, so any
+    /// feasible plain plan beats a checkpointed one; checkpointing is the
+    /// fallback when even `micro_batch == 1` does not fit un-checkpointed.
+    ///
+    /// Returns `None` if even `micro_batch == 1` with checkpointing does not
+    /// fit — the workload is infeasible for that system (OOM).
+    pub fn best(workload: &Workload, gpu_budget: u64) -> Option<ExecutionPlan> {
+        Self::largest_fitting(workload, gpu_budget, false)
+            .or_else(|| Self::largest_fitting(workload, gpu_budget, true))
+    }
+
+    fn largest_fitting(
+        workload: &Workload,
+        gpu_budget: u64,
+        checkpointing: bool,
+    ) -> Option<ExecutionPlan> {
+        // Micro-batch must divide the global batch; scan divisors descending.
+        let mut candidates: Vec<u32> = (1..=workload.global_batch)
+            .filter(|m| workload.global_batch.is_multiple_of(*m))
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for m in candidates {
+            let act = if checkpointing {
+                ActivationMemory::checkpointed(&workload.config, m, workload.seq)
+            } else {
+                ActivationMemory::full(&workload.config, m, workload.seq)
+            };
+            if act.bytes <= gpu_budget {
+                return Some(ExecutionPlan {
+                    micro_batch: m,
+                    accum_steps: workload.global_batch / m,
+                    checkpointing,
+                    activation_bytes: act.bytes,
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of forward/backward micro-steps per optimizer step.
+    pub fn micro_steps(&self) -> u32 {
+        self.accum_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(batch: u32) -> Workload {
+        Workload::new(ModelConfig::appendix_a_5b(), batch, 2048)
+    }
+
+    #[test]
+    fn tokens_product() {
+        assert_eq!(wl(8).tokens(), 8 * 2048);
+    }
+
+    #[test]
+    fn huge_budget_gets_full_batch_no_checkpoint() {
+        let plan = ExecutionPlan::best(&wl(8), u64::MAX).unwrap();
+        assert_eq!(plan.micro_batch, 8);
+        assert_eq!(plan.accum_steps, 1);
+        assert!(!plan.checkpointing);
+    }
+
+    #[test]
+    fn shrinking_budget_degrades_gracefully() {
+        let w = wl(8);
+        let full8 = ActivationMemory::full(&w.config, 8, w.seq).bytes;
+        let full4 = ActivationMemory::full(&w.config, 4, w.seq).bytes;
+        // Budget between micro-batch-4 and micro-batch-8 full footprints.
+        // Checkpointing at micro-batch 8 fits in far less, so the planner
+        // may pick it; verify the invariant rather than the exact choice:
+        let plan = ExecutionPlan::best(&w, (full4 + full8) / 2).unwrap();
+        assert!(plan.activation_bytes <= (full4 + full8) / 2);
+        assert_eq!(plan.micro_batch * plan.accum_steps, 8);
+    }
+
+    #[test]
+    fn checkpointing_rescues_tight_budgets() {
+        let w = wl(8);
+        let ckpt1 = ActivationMemory::checkpointed(&w.config, 1, w.seq).bytes;
+        let full1 = ActivationMemory::full(&w.config, 1, w.seq).bytes;
+        // Budget below even micro-batch-1 full: only checkpointing fits.
+        let budget = (ckpt1 + full1) / 2;
+        let plan = ExecutionPlan::best(&w, budget).unwrap();
+        assert!(plan.checkpointing);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let plan = ExecutionPlan::best(&wl(8), 1024);
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn micro_batch_divides_global() {
+        let w = Workload::new(ModelConfig::appendix_a_5b(), 12, 2048);
+        for budget_gb in [1u64, 4, 16, 64, 256] {
+            if let Some(plan) = ExecutionPlan::best(&w, budget_gb << 30) {
+                assert_eq!(12 % plan.micro_batch, 0);
+                assert_eq!(plan.micro_batch * plan.accum_steps, 12);
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_no_checkpointing_on_ties() {
+        // With enough budget for full activations at the max micro-batch,
+        // checkpointing must not be chosen.
+        let plan = ExecutionPlan::best(&wl(4), u64::MAX).unwrap();
+        assert!(!plan.checkpointing);
+    }
+}

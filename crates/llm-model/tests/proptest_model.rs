@@ -1,0 +1,99 @@
+//! Property-based tests of model accounting and the miniature GPT.
+
+use llm_model::config::ModelConfig;
+use llm_model::memory::{ActivationMemory, ModelStateMemory};
+use llm_model::flops::{forward_flops, TrainingFlops};
+use llm_model::transformer::{GptConfig, GptModel};
+use llm_model::SyntheticPile;
+use proptest::prelude::*;
+
+proptest! {
+    /// The 16Ψ identity holds for any parameter count.
+    #[test]
+    fn model_state_total_is_16_psi(params in 1u64..1_000_000_000_000) {
+        let m = ModelStateMemory::for_params(params);
+        prop_assert_eq!(m.total(), 16 * params);
+        prop_assert_eq!(m.optimizer_states(), 12 * params);
+        prop_assert_eq!(
+            m.total(),
+            m.gpu_resident_weight_stationary() + m.cpu_resident_weight_stationary()
+        );
+    }
+
+    /// Activation memory with checkpointing never exceeds the full footprint.
+    #[test]
+    fn checkpointing_never_increases_memory(
+        layers in 1u32..100, hidden_exp in 7u32..13, batch in 1u32..32, seq_exp in 6u64..16,
+    ) {
+        let cfg = ModelConfig::new("t", layers, 1 << hidden_exp);
+        let seq = 1u64 << seq_exp;
+        let full = ActivationMemory::full(&cfg, batch, seq);
+        let ckpt = ActivationMemory::checkpointed(&cfg, batch, seq);
+        prop_assert!(ckpt.bytes <= full.bytes);
+    }
+
+    /// FLOPs are monotone in every workload dimension.
+    #[test]
+    fn flops_monotone(batch in 1u32..16, seq_exp in 6u64..14) {
+        let cfg = ModelConfig::appendix_a_5b();
+        let seq = 1u64 << seq_exp;
+        let f = TrainingFlops::for_iteration(&cfg, batch, seq, false);
+        let f_bigger_batch = TrainingFlops::for_iteration(&cfg, batch + 1, seq, false);
+        let f_longer_seq = TrainingFlops::for_iteration(&cfg, batch, seq * 2, false);
+        prop_assert!(f_bigger_batch.effective() > f.effective());
+        prop_assert!(f_longer_seq.effective() > f.effective());
+        prop_assert!(f.executed() >= f.effective());
+    }
+
+    /// Forward FLOPs are at least the GEMM lower bound 2·Ψ·tokens.
+    #[test]
+    fn forward_flops_lower_bound(tokens_exp in 8u64..20) {
+        let cfg = ModelConfig::appendix_a_5b();
+        let tokens = 1u64 << tokens_exp;
+        let f = forward_flops(&cfg, tokens, 1024);
+        prop_assert!(f >= 2.0 * cfg.param_count() as f64 * tokens as f64);
+    }
+
+    /// Any two models with the same seed are bit-identical; a training step
+    /// keeps parameters finite for in-distribution data.
+    #[test]
+    fn model_determinism_and_finiteness(seed in 0u64..1000) {
+        let cfg = GptConfig { vocab: 31, hidden: 16, layers: 1, heads: 2, max_seq: 16 };
+        let mut a = GptModel::new(cfg.clone(), seed);
+        let b = GptModel::new(cfg, seed);
+        prop_assert_eq!(a.params(), b.params());
+
+        let mut pile = SyntheticPile::new(31, seed);
+        let (x, y) = pile.next_sequence(8);
+        let loss = a.forward_backward(&x, &y).unwrap();
+        prop_assert!(loss.is_finite());
+        prop_assert!(a.grads().iter().all(|g| g.is_finite()));
+    }
+
+    /// Causality: perturbing token k never changes logits at positions < k.
+    #[test]
+    fn causality_holds_for_any_position(k in 1usize..8, replacement in 0usize..31) {
+        let cfg = GptConfig { vocab: 31, hidden: 16, layers: 2, heads: 2, max_seq: 16 };
+        let m = GptModel::new(cfg, 99);
+        let base: Vec<usize> = (0..8).map(|i| (i * 5 + 2) % 31).collect();
+        let mut changed = base.clone();
+        changed[k] = replacement;
+        let la = m.logits(&base).unwrap();
+        let lb = m.logits(&changed).unwrap();
+        for pos in 0..k {
+            for v in 0..31 {
+                prop_assert_eq!(la.get2(pos, v).unwrap(), lb.get2(pos, v).unwrap());
+            }
+        }
+    }
+
+    /// The synthetic stream is stationary: any seed keeps tokens in range and
+    /// the shift property between inputs and targets.
+    #[test]
+    fn pile_shift_property(seed in 0u64..500, seq in 2usize..64) {
+        let mut s = SyntheticPile::new(64, seed);
+        let (x, y) = s.next_sequence(seq);
+        prop_assert_eq!(&x[1..], &y[..seq - 1]);
+        prop_assert!(x.iter().all(|&t| t < 64));
+    }
+}

@@ -1,0 +1,145 @@
+//! Chrome-tracing (`chrome://tracing` / Perfetto) export of execution
+//! traces.
+//!
+//! Emits the "JSON Array Format" of the Trace Event specification: one
+//! complete (`"ph": "X"`) event per executed interval, with one row (tid)
+//! per simulated resource. Load the output in Perfetto to inspect a
+//! schedule visually — the reproduction's equivalent of the paper's
+//! timeline figures (Fig. 3, Fig. 8).
+//!
+//! The JSON is emitted directly (the format is flat and fixed) to keep the
+//! crate's dependency surface at `serde` only.
+
+use std::fmt::Write as _;
+
+use crate::engine::ResourceId;
+use crate::trace::Trace;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a [`Trace`] to the Chrome Trace Event JSON array format.
+///
+/// `resource_names` maps row index (tid) to a display name, in the order
+/// resources were registered with the simulator.
+///
+/// ```
+/// use superchip_sim::prelude::*;
+/// # fn main() -> Result<(), SimError> {
+/// let mut sim = Simulator::new();
+/// let gpu = sim.add_resource("gpu");
+/// sim.add_task(TaskSpec::compute(gpu, SimTime::from_millis(1.0)).with_label("fwd"))?;
+/// let trace = sim.run()?;
+/// let json = superchip_sim::chrome_trace::to_chrome_trace(&trace, &["gpu"]);
+/// assert!(json.contains("\"fwd\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_chrome_trace(trace: &Trace, resource_names: &[&str]) -> String {
+    let mut events = Vec::new();
+    for (tid, name) in resource_names.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+    }
+    for (tid, _) in resource_names.iter().enumerate() {
+        for iv in trace.intervals_on(ResourceId(tid)) {
+            let label = if iv.label.is_empty() { "task" } else { &iv.label };
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"kind":"{}"}}}}"#,
+                escape(label),
+                iv.kind,
+                iv.start.as_micros(),
+                iv.duration().as_micros(),
+                iv.kind,
+            ));
+        }
+    }
+    format!("[{}]", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulator, TaskSpec};
+    use crate::SimTime;
+
+    fn sample() -> Trace {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let cpu = sim.add_resource("cpu");
+        let a = sim
+            .add_task(TaskSpec::compute(gpu, SimTime::from_millis(2.0)).with_label("bwd"))
+            .unwrap();
+        sim.add_task(
+            TaskSpec::compute(cpu, SimTime::from_millis(1.0))
+                .with_label("step")
+                .after(a),
+        )
+        .unwrap();
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn emits_array_with_metadata_and_events() {
+        let json = to_chrome_trace(&sample(), &["gpu", "cpu"]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"bwd\""));
+        assert!(json.contains("\"step\""));
+    }
+
+    #[test]
+    fn events_carry_timing_and_rows() {
+        let json = to_chrome_trace(&sample(), &["gpu", "cpu"]);
+        // bwd: row 0, 2000 us duration starting at 0.
+        assert!(json.contains(r#""name":"bwd","cat":"compute","ph":"X","ts":0,"dur":2000,"pid":0,"tid":0"#));
+        // step: row 1, starts when bwd ends.
+        assert!(json.contains(r#""name":"step","cat":"compute","ph":"X","ts":2000,"dur":1000"#) || json.contains(r#""ts":2000.0000000000002"#));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("g\"pu");
+        sim.add_task(
+            TaskSpec::compute(gpu, SimTime::from_millis(1.0)).with_label("a\"b\\c\nd"),
+        )
+        .unwrap();
+        let trace = sim.run().unwrap();
+        let json = to_chrome_trace(&trace, &["g\"pu"]);
+        assert!(json.contains(r#"a\"b\\c\nd"#));
+        assert!(json.contains(r#"g\"pu"#));
+        // No raw control characters or unescaped quotes inside strings.
+        assert!(!json.contains('\n') || json.matches('\n').count() == json.matches(",\n").count());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut sim = Simulator::new();
+        sim.add_resource("gpu");
+        let trace = sim.run().unwrap();
+        let json = to_chrome_trace(&trace, &["gpu"]);
+        assert!(json.contains("thread_name"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cost models for collective communication.
+//!
+//! All collectives use ring-algorithm costs over an alpha-beta link model,
+//! the same first-order model used in the ZeRO and Ulysses papers:
+//! a ring step moves one message chunk and costs `latency + chunk/bw`.
+
+use crate::link::Link;
+use crate::time::SimTime;
+
+/// Collective cost calculator bound to a link and a rank count.
+///
+/// ```
+/// use superchip_sim::prelude::*;
+/// let link = superchip_sim::topology::link_gbps(LinkKind::Nvlink, 450.0, 2.0);
+/// let coll = CollectiveCost::new(link, 4);
+/// let t = coll.all_reduce(1 << 30);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    link: Link,
+    ranks: u32,
+}
+
+impl CollectiveCost {
+    /// Creates a calculator for `ranks` participants over `link`.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero.
+    pub fn new(link: Link, ranks: u32) -> Self {
+        assert!(ranks >= 1, "collectives need at least one rank");
+        CollectiveCost { link, ranks }
+    }
+
+    /// Number of participating ranks.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// The link the collective runs over.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    fn ring_steps(&self, chunk_bytes: f64) -> SimTime {
+        let p = self.ranks as f64;
+        if self.ranks == 1 {
+            return SimTime::ZERO;
+        }
+        let step = self.link.curve.latency_secs + chunk_bytes / self.link.curve.peak_bytes_per_sec;
+        SimTime::from_secs((p - 1.0) * step)
+    }
+
+    /// Ring all-gather: every rank contributes `bytes_per_rank` and ends with
+    /// all contributions.
+    pub fn all_gather(&self, bytes_per_rank: u64) -> SimTime {
+        self.ring_steps(bytes_per_rank as f64)
+    }
+
+    /// Ring reduce-scatter of a buffer of `total_bytes` (each rank ends with
+    /// the reduced `total_bytes / ranks` shard).
+    pub fn reduce_scatter(&self, total_bytes: u64) -> SimTime {
+        self.ring_steps(total_bytes as f64 / self.ranks as f64)
+    }
+
+    /// Ring all-reduce of `total_bytes` (reduce-scatter + all-gather).
+    pub fn all_reduce(&self, total_bytes: u64) -> SimTime {
+        let chunk = total_bytes as f64 / self.ranks as f64;
+        self.ring_steps(chunk) + self.ring_steps(chunk)
+    }
+
+    /// All-to-all of `total_bytes` held by each rank (each rank keeps `1/p`
+    /// and sends `1/p` to every peer) — the Ulysses attention exchange.
+    pub fn all_to_all(&self, total_bytes_per_rank: u64) -> SimTime {
+        self.ring_steps(total_bytes_per_rank as f64 / self.ranks as f64)
+    }
+
+    /// Pipelined broadcast of `bytes` from one root to all ranks.
+    pub fn broadcast(&self, bytes: u64) -> SimTime {
+        if self.ranks == 1 {
+            return SimTime::ZERO;
+        }
+        let p = self.ranks as f64;
+        SimTime::from_secs(
+            (p - 1.0) * self.link.curve.latency_secs
+                + bytes as f64 / self.link.curve.peak_bytes_per_sec,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+    use crate::topology::link_gbps;
+    use crate::GIB;
+
+    fn coll(p: u32) -> CollectiveCost {
+        CollectiveCost::new(link_gbps(LinkKind::Nvlink, 100.0, 1.0), p)
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let c = coll(1);
+        assert_eq!(c.all_reduce(GIB), SimTime::ZERO);
+        assert_eq!(c.all_gather(GIB), SimTime::ZERO);
+        assert_eq!(c.reduce_scatter(GIB), SimTime::ZERO);
+        assert_eq!(c.broadcast(GIB), SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_reduce_scatter() {
+        let c = coll(8);
+        let rs = c.reduce_scatter(GIB).as_secs();
+        let ar = c.all_reduce(GIB).as_secs();
+        assert!((ar - 2.0 * rs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_reduce_cost_approaches_2x_bandwidth_bound() {
+        // For large p, ring all-reduce moves ~2*bytes over the slowest link.
+        let c = coll(64);
+        let t = c.all_reduce(GIB).as_secs();
+        let bound = 2.0 * GIB as f64 / 100e9;
+        assert!(t > bound * 0.9 && t < bound * 1.2, "t={t}, bound={bound}");
+    }
+
+    #[test]
+    fn all_gather_scales_with_ranks() {
+        let t4 = coll(4).all_gather(256 << 20);
+        let t8 = coll(8).all_gather(256 << 20);
+        assert!(t8 > t4);
+    }
+
+    #[test]
+    fn all_to_all_cheaper_than_all_gather() {
+        // Per-rank data volume (p-1)/p * bytes/p vs (p-1)/p * bytes.
+        let c = coll(8);
+        assert!(c.all_to_all(GIB) < c.all_gather(GIB));
+    }
+
+    #[test]
+    fn broadcast_pipelines() {
+        let c = coll(16);
+        let t = c.broadcast(GIB).as_secs();
+        let serial = 15.0 * (GIB as f64 / 100e9);
+        assert!(t < serial / 4.0, "broadcast should pipeline, t={t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = coll(0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Event-driven task-graph scheduler.
+//!
+//! Training schedules are expressed as DAGs of [`TaskSpec`]s, each bound to a
+//! named resource (a GPU stream, a CPU worker pool, one direction of a link).
+//! The [`Simulator`] executes the DAG with an event-driven list scheduler:
+//! a task starts as soon as all its dependencies have finished *and* its
+//! resource is free; resources execute one task at a time, in the order tasks
+//! become ready (ties broken by insertion order, so runs are deterministic).
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::fmt;
+
+use crate::error::SimError;
+use crate::time::SimTime;
+use crate::trace::{Interval, Trace};
+
+/// Opaque identifier of a simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+/// Opaque identifier of a scheduled task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Index of this task in submission order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The broad category of work a task represents, used for trace analysis
+/// (e.g. "how much of the GPU timeline is data movement?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TaskKind {
+    /// Numeric computation (forward, backward, optimizer step).
+    Compute,
+    /// Data movement over a link.
+    Transfer,
+    /// Type casting / format conversion.
+    Cast,
+    /// Collective communication (all-gather, reduce-scatter, ...).
+    Collective,
+    /// Synchronization / bookkeeping with negligible cost of its own.
+    Sync,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskKind::Compute => "compute",
+            TaskKind::Transfer => "transfer",
+            TaskKind::Cast => "cast",
+            TaskKind::Collective => "collective",
+            TaskKind::Sync => "sync",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Specification of one task in the graph.
+///
+/// Build with the kind-specific constructors and chain [`TaskSpec::after`] /
+/// [`TaskSpec::with_label`]:
+///
+/// ```
+/// use superchip_sim::prelude::*;
+/// let mut sim = Simulator::new();
+/// let gpu = sim.add_resource("gpu");
+/// let t = sim
+///     .add_task(TaskSpec::compute(gpu, SimTime::from_millis(3.0)).with_label("fwd"))
+///     .unwrap();
+/// let _ = sim
+///     .add_task(TaskSpec::compute(gpu, SimTime::from_millis(6.0)).with_label("bwd").after(t))
+///     .unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    pub(crate) resource: ResourceId,
+    pub(crate) duration: SimTime,
+    pub(crate) deps: Vec<TaskId>,
+    pub(crate) label: String,
+    pub(crate) kind: TaskKind,
+    /// Earliest time the task may start regardless of dependencies.
+    pub(crate) not_before: SimTime,
+}
+
+impl TaskSpec {
+    /// Creates a task of the given kind.
+    pub fn new(resource: ResourceId, kind: TaskKind, duration: SimTime) -> Self {
+        TaskSpec {
+            resource,
+            duration,
+            deps: Vec::new(),
+            label: String::new(),
+            kind,
+            not_before: SimTime::ZERO,
+        }
+    }
+
+    /// Creates a compute task.
+    pub fn compute(resource: ResourceId, duration: SimTime) -> Self {
+        Self::new(resource, TaskKind::Compute, duration)
+    }
+
+    /// Creates a data-transfer task.
+    pub fn transfer(resource: ResourceId, duration: SimTime) -> Self {
+        Self::new(resource, TaskKind::Transfer, duration)
+    }
+
+    /// Creates a type-casting task.
+    pub fn cast(resource: ResourceId, duration: SimTime) -> Self {
+        Self::new(resource, TaskKind::Cast, duration)
+    }
+
+    /// Creates a collective-communication task.
+    pub fn collective(resource: ResourceId, duration: SimTime) -> Self {
+        Self::new(resource, TaskKind::Collective, duration)
+    }
+
+    /// Creates a zero-or-tiny-duration synchronization task.
+    pub fn sync(resource: ResourceId) -> Self {
+        Self::new(resource, TaskKind::Sync, SimTime::ZERO)
+    }
+
+    /// Adds a dependency: this task may not start before `dep` finishes.
+    #[must_use]
+    pub fn after(mut self, dep: TaskId) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Adds several dependencies at once.
+    #[must_use]
+    pub fn after_all<I: IntoIterator<Item = TaskId>>(mut self, deps: I) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    /// Sets a human-readable label shown in traces.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Constrains the task to start no earlier than `t`.
+    #[must_use]
+    pub fn not_before(mut self, t: SimTime) -> Self {
+        self.not_before = t;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    spec: TaskSpec,
+    /// Number of dependencies not yet finished.
+    pending_deps: usize,
+    /// Tasks that depend on this one.
+    dependents: Vec<TaskId>,
+    /// Earliest start implied by finished dependencies.
+    ready_at: SimTime,
+}
+
+/// Deterministic discrete-event simulator executing a task DAG on resources.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct Simulator {
+    resources: Vec<String>,
+    tasks: Vec<Task>,
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource (a serial execution timeline) under `name`.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(name.into());
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Returns the name a resource was registered under.
+    pub fn resource_name(&self, id: ResourceId) -> Option<&str> {
+        self.resources.get(id.0).map(String::as_str)
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of submitted tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Submits a task to the graph.
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownResource`] if the task's resource was never
+    /// registered, or [`SimError::UnknownTask`] if a dependency refers to a
+    /// task that has not been submitted (dependencies must be submitted
+    /// first, which also guarantees the graph is acyclic).
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<TaskId, SimError> {
+        if spec.resource.0 >= self.resources.len() {
+            return Err(SimError::UnknownResource(spec.resource));
+        }
+        let id = TaskId(self.tasks.len());
+        for &dep in &spec.deps {
+            if dep.0 >= self.tasks.len() {
+                return Err(SimError::UnknownTask(dep));
+            }
+        }
+        let pending = spec.deps.len();
+        for &dep in &spec.deps {
+            self.tasks[dep.0].dependents.push(id);
+        }
+        self.tasks.push(Task {
+            ready_at: spec.not_before,
+            pending_deps: pending,
+            dependents: Vec::new(),
+            spec,
+        });
+        Ok(id)
+    }
+
+    /// Executes the task graph and returns the resulting trace.
+    ///
+    /// The schedule is a deterministic list schedule: among ready tasks
+    /// contending for the same resource, the one that became ready earliest
+    /// runs first (ties broken by submission order).
+    ///
+    /// # Errors
+    /// Returns [`SimError::DependencyCycle`] if some tasks can never become
+    /// ready. (This is defensive: `add_task` already prevents forward
+    /// references, so a cycle cannot normally be constructed.)
+    pub fn run(&mut self) -> Result<Trace, SimError> {
+        let n = self.tasks.len();
+        // Ready queue: (ready_at, task id), minimum first.
+        let mut ready: BinaryHeap<Reverse<(SimTime, TaskId)>> = BinaryHeap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.pending_deps == 0 {
+                ready.push(Reverse((t.ready_at, TaskId(i))));
+            }
+        }
+
+        let mut resource_free = vec![SimTime::ZERO; self.resources.len()];
+        let mut intervals: Vec<Option<Interval>> = vec![None; n];
+        let mut done = 0usize;
+
+        while let Some(Reverse((ready_at, id))) = ready.pop() {
+            let (start, end, resource, kind, label);
+            {
+                let task = &self.tasks[id.0];
+                resource = task.spec.resource;
+                kind = task.spec.kind;
+                label = task.spec.label.clone();
+                let s = ready_at.max(resource_free[resource.0]);
+                start = s;
+                end = s + task.spec.duration;
+            }
+            resource_free[resource.0] = end;
+            intervals[id.0] = Some(Interval {
+                task: id,
+                resource,
+                kind,
+                label,
+                start,
+                end,
+            });
+            done += 1;
+
+            let dependents = self.tasks[id.0].dependents.clone();
+            for dep_id in dependents {
+                let t = &mut self.tasks[dep_id.0];
+                t.ready_at = t.ready_at.max(end);
+                t.pending_deps -= 1;
+                if t.pending_deps == 0 {
+                    ready.push(Reverse((t.ready_at, dep_id)));
+                }
+            }
+        }
+
+        if done != n {
+            return Err(SimError::DependencyCycle {
+                unscheduled: n - done,
+            });
+        }
+
+        let intervals: Vec<Interval> = intervals.into_iter().map(Option::unwrap).collect();
+        Ok(Trace::new(self.resources.clone(), intervals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: f64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn single_task_runs_at_zero() {
+        let mut sim = Simulator::new();
+        let r = sim.add_resource("gpu");
+        let t = sim.add_task(TaskSpec::compute(r, ms(5.0))).unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.start_time(t).unwrap(), SimTime::ZERO);
+        assert_eq!(trace.end_time(t).unwrap(), ms(5.0));
+        assert_eq!(trace.makespan(), ms(5.0));
+    }
+
+    #[test]
+    fn dependency_serializes_across_resources() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let link = sim.add_resource("link");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(2.0))).unwrap();
+        let b = sim
+            .add_task(TaskSpec::transfer(link, ms(3.0)).after(a))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.start_time(b).unwrap(), ms(2.0));
+        assert_eq!(trace.makespan(), ms(5.0));
+    }
+
+    #[test]
+    fn independent_tasks_overlap_on_distinct_resources() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let cpu = sim.add_resource("cpu");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(4.0))).unwrap();
+        let b = sim.add_task(TaskSpec::compute(cpu, ms(4.0))).unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.start_time(a).unwrap(), SimTime::ZERO);
+        assert_eq!(trace.start_time(b).unwrap(), SimTime::ZERO);
+        assert_eq!(trace.makespan(), ms(4.0));
+    }
+
+    #[test]
+    fn same_resource_serializes() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(4.0))).unwrap();
+        let b = sim.add_task(TaskSpec::compute(gpu, ms(4.0))).unwrap();
+        let trace = sim.run().unwrap();
+        let (s1, s2) = (trace.start_time(a).unwrap(), trace.start_time(b).unwrap());
+        assert!(s1 == SimTime::ZERO && s2 == ms(4.0));
+        assert_eq!(trace.makespan(), ms(8.0));
+    }
+
+    #[test]
+    fn not_before_delays_start() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let t = sim
+            .add_task(TaskSpec::compute(gpu, ms(1.0)).not_before(ms(10.0)))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.start_time(t).unwrap(), ms(10.0));
+    }
+
+    #[test]
+    fn fan_in_waits_for_all_deps() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let cpu = sim.add_resource("cpu");
+        let link = sim.add_resource("link");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(2.0))).unwrap();
+        let b = sim.add_task(TaskSpec::compute(cpu, ms(7.0))).unwrap();
+        let c = sim
+            .add_task(TaskSpec::transfer(link, ms(1.0)).after(a).after(b))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.start_time(c).unwrap(), ms(7.0));
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let mut sim = Simulator::new();
+        let err = sim
+            .add_task(TaskSpec::compute(ResourceId(42), ms(1.0)))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownResource(_)));
+    }
+
+    #[test]
+    fn forward_dependency_rejected() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let err = sim
+            .add_task(TaskSpec::compute(gpu, ms(1.0)).after(TaskId(7)))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownTask(_)));
+    }
+
+    #[test]
+    fn ready_order_is_fifo_among_ties() {
+        // Two tasks ready at t=0 on the same resource: submission order wins.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let first = sim
+            .add_task(TaskSpec::compute(gpu, ms(1.0)).with_label("first"))
+            .unwrap();
+        let second = sim
+            .add_task(TaskSpec::compute(gpu, ms(1.0)).with_label("second"))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        assert!(trace.start_time(first).unwrap() < trace.start_time(second).unwrap());
+    }
+
+    #[test]
+    fn diamond_dag_schedules_correctly() {
+        // a -> (b, c) -> d ; b and c on different resources overlap.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let cpu = sim.add_resource("cpu");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(1.0))).unwrap();
+        let b = sim
+            .add_task(TaskSpec::compute(gpu, ms(5.0)).after(a))
+            .unwrap();
+        let c = sim
+            .add_task(TaskSpec::compute(cpu, ms(3.0)).after(a))
+            .unwrap();
+        let d = sim
+            .add_task(TaskSpec::sync(gpu).after(b).after(c))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        assert_eq!(trace.end_time(d).unwrap(), ms(6.0));
+        assert_eq!(trace.makespan(), ms(6.0));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TaskKind::Compute.to_string(), "compute");
+        assert_eq!(TaskKind::Collective.to_string(), "collective");
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::engine::{ResourceId, TaskId};
+
+/// Errors produced by the simulator and its hardware models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An allocation request exceeded a memory pool's remaining capacity.
+    OutOfMemory {
+        /// Name of the pool that rejected the allocation.
+        pool: String,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A task referenced a resource that was never registered.
+    UnknownResource(ResourceId),
+    /// A task referenced a dependency that does not exist (yet).
+    UnknownTask(TaskId),
+    /// The task graph contains a dependency cycle and cannot be scheduled.
+    DependencyCycle {
+        /// Number of tasks left unscheduled when progress stopped.
+        unscheduled: usize,
+    },
+    /// A freed allocation did not match any live allocation.
+    InvalidFree {
+        /// Name of the pool.
+        pool: String,
+        /// Bytes whose release was requested.
+        bytes: u64,
+    },
+    /// A configuration value was outside its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                pool,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in pool `{pool}`: requested {requested} bytes, {available} available"
+            ),
+            SimError::UnknownResource(id) => write!(f, "unknown resource {id:?}"),
+            SimError::UnknownTask(id) => write!(f, "unknown task {id:?}"),
+            SimError::DependencyCycle { unscheduled } => write!(
+                f,
+                "task graph contains a dependency cycle ({unscheduled} tasks unscheduled)"
+            ),
+            SimError::InvalidFree { pool, bytes } => {
+                write!(f, "invalid free of {bytes} bytes in pool `{pool}`")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            SimError::OutOfMemory {
+                pool: "hbm".into(),
+                requested: 10,
+                available: 5,
+            },
+            SimError::DependencyCycle { unscheduled: 3 },
+            SimError::InvalidConfig("bad".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Capacity-tracked memory pools (HBM, DDR).
+//!
+//! Pools are used by schedule builders to decide whether a model-state
+//! placement fits (the paper's Fig. 13 "largest trainable model" experiment
+//! is a search over these placements) and to report peak usage.
+
+use crate::error::SimError;
+
+/// A fixed-capacity memory pool with allocation tracking.
+///
+/// ```
+/// use superchip_sim::MemoryPool;
+/// let mut hbm = MemoryPool::new("hbm", 96 * (1 << 30));
+/// hbm.allocate(10 << 30)?;
+/// assert_eq!(hbm.allocated(), 10 << 30);
+/// hbm.free(10 << 30)?;
+/// # Ok::<(), superchip_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPool {
+    name: String,
+    capacity: u64,
+    allocated: u64,
+    peak: u64,
+}
+
+impl MemoryPool {
+    /// Creates an empty pool with `capacity` bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        MemoryPool {
+            name: name.into(),
+            capacity,
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    /// The pool's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently allocated bytes.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Remaining bytes.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.allocated as f64 / self.capacity as f64
+    }
+
+    /// Returns whether an allocation of `bytes` would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Allocates `bytes`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::OutOfMemory`] if the pool lacks space.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), SimError> {
+        if !self.fits(bytes) {
+            return Err(SimError::OutOfMemory {
+                pool: self.name.clone(),
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.allocated += bytes;
+        self.peak = self.peak.max(self.allocated);
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidFree`] if more bytes are freed than are
+    /// currently allocated.
+    pub fn free(&mut self, bytes: u64) -> Result<(), SimError> {
+        if bytes > self.allocated {
+            return Err(SimError::InvalidFree {
+                pool: self.name.clone(),
+                bytes,
+            });
+        }
+        self.allocated -= bytes;
+        Ok(())
+    }
+
+    /// Releases everything, keeping the peak statistic.
+    pub fn reset(&mut self) {
+        self.allocated = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn allocate_and_free_roundtrip() {
+        let mut pool = MemoryPool::new("hbm", 96 * GIB);
+        pool.allocate(40 * GIB).unwrap();
+        pool.allocate(40 * GIB).unwrap();
+        assert_eq!(pool.allocated(), 80 * GIB);
+        assert_eq!(pool.available(), 16 * GIB);
+        assert!((pool.occupancy() - 80.0 / 96.0).abs() < 1e-12);
+        pool.free(80 * GIB).unwrap();
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.peak(), 80 * GIB);
+    }
+
+    #[test]
+    fn over_allocation_is_oom() {
+        let mut pool = MemoryPool::new("hbm", GIB);
+        let err = pool.allocate(2 * GIB).unwrap_err();
+        match err {
+            SimError::OutOfMemory {
+                pool,
+                requested,
+                available,
+            } => {
+                assert_eq!(pool, "hbm");
+                assert_eq!(requested, 2 * GIB);
+                assert_eq!(available, GIB);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_free_is_invalid() {
+        let mut pool = MemoryPool::new("ddr", GIB);
+        pool.allocate(1024).unwrap();
+        assert!(matches!(
+            pool.free(2048),
+            Err(SimError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut pool = MemoryPool::new("hbm", GIB);
+        assert!(pool.fits(GIB));
+        pool.allocate(GIB).unwrap();
+        assert!(!pool.fits(1));
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn reset_keeps_peak() {
+        let mut pool = MemoryPool::new("hbm", GIB);
+        pool.allocate(GIB / 2).unwrap();
+        pool.reset();
+        assert_eq!(pool.allocated(), 0);
+        assert_eq!(pool.peak(), GIB / 2);
+    }
+
+    #[test]
+    fn zero_capacity_occupancy_is_zero() {
+        let pool = MemoryPool::new("null", 0);
+        assert_eq!(pool.occupancy(), 0.0);
+    }
+}

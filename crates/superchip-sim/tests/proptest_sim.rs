@@ -1,0 +1,146 @@
+//! Property-based tests of the simulator's scheduling invariants.
+
+use proptest::prelude::*;
+use superchip_sim::prelude::*;
+
+/// Strategy: a random DAG of up to `n` tasks over `r` resources, where each
+/// task may depend only on earlier tasks (guaranteeing acyclicity, the same
+/// invariant `add_task` enforces).
+fn arb_dag(
+    max_tasks: usize,
+    resources: usize,
+) -> impl Strategy<Value = Vec<(usize, f64, Vec<usize>)>> {
+    prop::collection::vec(
+        (
+            0..resources,
+            0.0f64..10.0,
+            prop::collection::vec(0usize..max_tasks.max(1), 0..4),
+        ),
+        1..max_tasks,
+    )
+    .prop_map(|tasks| {
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (res, dur, deps))| {
+                let deps: Vec<usize> = deps.into_iter().filter(|&d| d < i).collect();
+                (res, dur, deps)
+            })
+            .collect()
+    })
+}
+
+fn build_and_run(
+    dag: &[(usize, f64, Vec<usize>)],
+    resources: usize,
+) -> (Vec<TaskId>, Vec<ResourceId>, Trace) {
+    let mut sim = Simulator::new();
+    let rids: Vec<_> = (0..resources)
+        .map(|i| sim.add_resource(format!("r{i}")))
+        .collect();
+    let mut ids = Vec::new();
+    for (res, dur, deps) in dag {
+        let mut spec = TaskSpec::compute(rids[*res], SimTime::from_millis(*dur));
+        for &d in deps {
+            spec = spec.after(ids[d]);
+        }
+        ids.push(sim.add_task(spec).unwrap());
+    }
+    let trace = sim.run().unwrap();
+    (ids, rids, trace)
+}
+
+proptest! {
+    /// Every task starts no earlier than all of its dependencies finish.
+    #[test]
+    fn dependencies_respected(dag in arb_dag(40, 4)) {
+        let (ids, _rids, trace) = build_and_run(&dag, 4);
+        for (i, (_, _, deps)) in dag.iter().enumerate() {
+            let start = trace.start_time(ids[i]).unwrap();
+            for &d in deps {
+                let dep_end = trace.end_time(ids[d]).unwrap();
+                prop_assert!(start >= dep_end, "task {i} started before dep {d} ended");
+            }
+        }
+    }
+
+    /// Tasks on the same resource never overlap.
+    #[test]
+    fn resources_are_serial(dag in arb_dag(40, 3)) {
+        let (_, rids, trace) = build_and_run(&dag, 3);
+        for (r, &rid) in rids.iter().enumerate() {
+            let ivs = trace.intervals_on(rid);
+            for w in ivs.windows(2) {
+                prop_assert!(w[1].start >= w[0].end,
+                    "overlap on resource {r}: [{}, {}) then [{}, {})",
+                    w[0].start, w[0].end, w[1].start, w[1].end);
+            }
+        }
+    }
+
+    /// Makespan equals the max task end time and is at least the critical-path
+    /// lower bound (sum of durations along any dependency chain).
+    #[test]
+    fn makespan_bounds(dag in arb_dag(30, 3)) {
+        let (ids, _rids, trace) = build_and_run(&dag, 3);
+        let max_end = ids.iter().map(|&id| trace.end_time(id).unwrap()).max().unwrap();
+        prop_assert_eq!(trace.makespan(), max_end);
+
+        // Critical path: longest dep chain by duration.
+        let mut longest = vec![SimTime::ZERO; dag.len()];
+        for (i, (_, dur, deps)) in dag.iter().enumerate() {
+            let base = deps.iter().map(|&d| longest[d]).max().unwrap_or(SimTime::ZERO);
+            longest[i] = base + SimTime::from_millis(*dur);
+        }
+        let critical = longest.iter().copied().max().unwrap_or(SimTime::ZERO);
+        prop_assert!(trace.makespan() >= critical - SimTime::from_nanos(1.0));
+    }
+
+    /// Utilization is in [0, 1] and busy + idle == makespan for every resource.
+    #[test]
+    fn utilization_is_consistent(dag in arb_dag(30, 3)) {
+        let (_, _rids, trace) = build_and_run(&dag, 3);
+        for stats in trace.all_stats() {
+            prop_assert!(stats.utilization >= 0.0 && stats.utilization <= 1.0 + 1e-9);
+            let total = (stats.busy + stats.idle).as_secs();
+            prop_assert!((total - trace.makespan().as_secs()).abs() < 1e-9);
+        }
+    }
+
+    /// Simulation runs are deterministic: same DAG, same trace.
+    #[test]
+    fn runs_are_deterministic(dag in arb_dag(25, 3)) {
+        let (ids1, _r1, t1) = build_and_run(&dag, 3);
+        let (ids2, _r2, t2) = build_and_run(&dag, 3);
+        prop_assert_eq!(t1.makespan(), t2.makespan());
+        for (a, b) in ids1.iter().zip(&ids2) {
+            prop_assert_eq!(t1.start_time(*a), t2.start_time(*b));
+        }
+    }
+
+    /// Bandwidth curves are monotone: bigger messages achieve >= bandwidth.
+    #[test]
+    fn bandwidth_monotone(peak in 1e9f64..1e12, lat in 0.0f64..1e-3,
+                          a in 1u64..u32::MAX as u64, b in 1u64..u32::MAX as u64) {
+        let curve = BandwidthCurve::new(peak, lat);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(curve.effective_bandwidth(lo) <= curve.effective_bandwidth(hi) + 1e-6);
+        prop_assert!(curve.effective_bandwidth(hi) <= peak + 1e-6);
+    }
+
+    /// Memory pools never go negative or exceed capacity.
+    #[test]
+    fn memory_pool_invariants(ops in prop::collection::vec((any::<bool>(), 0u64..1000), 0..100)) {
+        let mut pool = MemoryPool::new("p", 10_000);
+        for (is_alloc, bytes) in ops {
+            if is_alloc {
+                let _ = pool.allocate(bytes);
+            } else {
+                let _ = pool.free(bytes);
+            }
+            prop_assert!(pool.allocated() <= pool.capacity());
+            prop_assert_eq!(pool.allocated() + pool.available(), pool.capacity());
+            prop_assert!(pool.peak() >= pool.allocated());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Fine-grained bucketization repartitioning (§4.3).
+//!
+//! Gradients and parameters are grouped into buckets before crossing the
+//! C2C link; 64 MiB saturates the link (Fig. 7) while staying fine-grained
+//! enough to overlap with backward compute. The *repartitioning* insight is
+//! that the last buckets produced by the backward pass cannot overlap with
+//! anything (the next forward needs their parameters first), so SuperOffload
+//! keeps the optimizer state of the last `n` buckets on the GPU, sized by
+//! the inequality of Eq. 4–5.
+
+use superchip_sim::topology::ChipSpec;
+use superchip_sim::{SimTime, MIB};
+
+use crate::casting::CastPlacement;
+use crate::costs::{gpu_optimizer_time, OptimizerImpl};
+
+/// The default bucket size: 64 MiB, the C2C saturation knee from Fig. 7.
+pub const DEFAULT_BUCKET_BYTES: u64 = 64 * MIB;
+
+/// A partition of a model's parameters into transfer buckets.
+///
+/// Buckets are indexed in **backward-production order**: bucket 0 holds the
+/// gradients produced first (the *last* layers), bucket `n-1` holds the
+/// first layers' parameters — the ones the next forward pass needs first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketPlan {
+    /// Parameters per full bucket.
+    pub elems_per_bucket: u64,
+    /// Total number of buckets (last one may be partial).
+    pub num_buckets: u32,
+    /// Total parameters covered.
+    pub total_elems: u64,
+    /// Number of trailing buckets (in production order) whose optimizer
+    /// state stays on the GPU.
+    pub retained_on_gpu: u32,
+}
+
+impl BucketPlan {
+    /// Partitions `total_elems` parameters into buckets of `bucket_bytes`
+    /// (FP32 gradient bytes), with `retained_on_gpu` trailing buckets kept
+    /// on the GPU.
+    ///
+    /// # Panics
+    /// Panics if `bucket_bytes < 4` or `total_elems == 0`.
+    pub fn new(total_elems: u64, bucket_bytes: u64, retained_on_gpu: u32) -> Self {
+        assert!(bucket_bytes >= 4, "bucket must hold at least one element");
+        assert!(total_elems > 0, "cannot bucketize an empty model");
+        let elems_per_bucket = bucket_bytes / 4;
+        let num_buckets = total_elems.div_ceil(elems_per_bucket) as u32;
+        BucketPlan {
+            elems_per_bucket,
+            num_buckets,
+            total_elems,
+            retained_on_gpu: retained_on_gpu.min(num_buckets),
+        }
+    }
+
+    /// Elements in bucket `i` (the final bucket may be partial).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bucket_elems(&self, i: u32) -> u64 {
+        assert!(i < self.num_buckets, "bucket {i} out of range");
+        if i + 1 == self.num_buckets {
+            self.total_elems - self.elems_per_bucket * (self.num_buckets as u64 - 1)
+        } else {
+            self.elems_per_bucket
+        }
+    }
+
+    /// Whether bucket `i`'s optimizer state lives on the GPU.
+    pub fn is_retained(&self, i: u32) -> bool {
+        i >= self.num_buckets - self.retained_on_gpu
+    }
+
+    /// Buckets whose optimizer runs on the CPU.
+    pub fn cpu_buckets(&self) -> u32 {
+        self.num_buckets - self.retained_on_gpu
+    }
+
+    /// Total elements whose optimizer state is retained on the GPU.
+    pub fn retained_elems(&self) -> u64 {
+        (0..self.num_buckets)
+            .filter(|&i| self.is_retained(i))
+            .map(|i| self.bucket_elems(i))
+            .sum()
+    }
+
+    /// Extra GPU bytes the retained buckets cost (FP32 master + moments +
+    /// FP32 gradient staging = 16 bytes/elem).
+    pub fn retained_gpu_bytes(&self) -> u64 {
+        16 * self.retained_elems()
+    }
+}
+
+/// Closed-form Eq. 4–5 check: with `n` retained buckets, can the last CPU
+/// bucket's swap-out → step → swap-in pipeline hide behind the backward and
+/// GPU-optimizer work of the retained buckets?
+pub fn retention_inequality_holds(
+    chip: &ChipSpec,
+    plan: &BucketPlan,
+    cast: CastPlacement,
+    optimizer: OptimizerImpl,
+    bwd_time_per_elem: SimTime,
+) -> bool {
+    if plan.retained_on_gpu == 0 {
+        return plan.cpu_buckets() == 0;
+    }
+    let bucket = plan.elems_per_bucket;
+    let lhs = cast.one_way_time(chip, bucket)
+        + optimizer.step_time(&chip.cpu, bucket)
+        + cast.one_way_time(chip, bucket);
+    let retained = plan.retained_elems();
+    let rhs = bwd_time_per_elem * retained as f64 + gpu_optimizer_time(&chip.gpu, retained);
+    lhs <= rhs
+}
+
+/// Smallest `n` (retained buckets) satisfying Eq. 4–5, or `num_buckets` if
+/// none does. This seeds the grid search the schedule runs (§4.3: "the
+/// optimal number depends on model size and batch sizes, and SuperOffload
+/// uses grid search").
+pub fn min_retained(
+    chip: &ChipSpec,
+    total_elems: u64,
+    bucket_bytes: u64,
+    cast: CastPlacement,
+    optimizer: OptimizerImpl,
+    bwd_time_per_elem: SimTime,
+) -> u32 {
+    let max = BucketPlan::new(total_elems, bucket_bytes, 0).num_buckets;
+    for n in 0..=max {
+        let plan = BucketPlan::new(total_elems, bucket_bytes, n);
+        if retention_inequality_holds(chip, &plan, cast, optimizer, bwd_time_per_elem) {
+            return n;
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superchip_sim::presets;
+
+    #[test]
+    fn bucket_partition_covers_everything() {
+        let plan = BucketPlan::new(100_000_000, DEFAULT_BUCKET_BYTES, 2);
+        let sum: u64 = (0..plan.num_buckets).map(|i| plan.bucket_elems(i)).sum();
+        assert_eq!(sum, plan.total_elems);
+        // 64 MiB of fp32 = 16 Mi elements per bucket.
+        assert_eq!(plan.elems_per_bucket, 16 * 1024 * 1024);
+        assert_eq!(plan.num_buckets, 6); // ceil(100e6 / 16.78e6)
+    }
+
+    #[test]
+    fn last_bucket_is_partial() {
+        let plan = BucketPlan::new(20_000_000, DEFAULT_BUCKET_BYTES, 0);
+        assert_eq!(plan.num_buckets, 2);
+        assert_eq!(plan.bucket_elems(0), 16 * 1024 * 1024);
+        assert_eq!(plan.bucket_elems(1), 20_000_000 - 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn retention_marks_trailing_buckets() {
+        let plan = BucketPlan::new(100_000_000, DEFAULT_BUCKET_BYTES, 2);
+        assert!(!plan.is_retained(0));
+        assert!(!plan.is_retained(3));
+        assert!(plan.is_retained(4));
+        assert!(plan.is_retained(5));
+        assert_eq!(plan.cpu_buckets(), 4);
+    }
+
+    #[test]
+    fn retained_bytes_are_16_per_elem() {
+        let plan = BucketPlan::new(64_000_000, DEFAULT_BUCKET_BYTES, 1);
+        assert_eq!(plan.retained_gpu_bytes(), 16 * plan.retained_elems());
+    }
+
+    #[test]
+    fn retention_clamped_to_bucket_count() {
+        let plan = BucketPlan::new(1000, DEFAULT_BUCKET_BYTES, 99);
+        assert_eq!(plan.num_buckets, 1);
+        assert_eq!(plan.retained_on_gpu, 1);
+        assert_eq!(plan.cpu_buckets(), 0);
+    }
+
+    #[test]
+    fn min_retained_is_small_on_gh200() {
+        // On GH200 with 64 MiB buckets, a handful of retained buckets should
+        // hide the last CPU bucket's round trip for a 5B model.
+        let chip = presets::gh200_chip();
+        let cfg = llm_model::ModelConfig::appendix_a_5b();
+        let params = cfg.param_count();
+        // bwd time per element: 4·bsz·seq FLOPs per parameter.
+        let flops_per_elem = 4.0 * 8.0 * 2048.0;
+        let bwd_per_elem = chip.gpu.time_for_flops(flops_per_elem);
+        let n = min_retained(
+            &chip,
+            params,
+            DEFAULT_BUCKET_BYTES,
+            CastPlacement::GpuCastMoveFp32,
+            OptimizerImpl::GraceAdam,
+            bwd_per_elem,
+        );
+        let total = BucketPlan::new(params, DEFAULT_BUCKET_BYTES, 0).num_buckets;
+        assert!(n >= 1, "some retention should be needed");
+        assert!(
+            n <= total / 4,
+            "retention should be a small fraction: {n}/{total}"
+        );
+    }
+
+    #[test]
+    fn slower_optimizer_needs_more_retention() {
+        let chip = presets::gh200_chip();
+        let params = llm_model::ModelConfig::appendix_a_5b().param_count();
+        let bwd_per_elem = chip.gpu.time_for_flops(4.0 * 8.0 * 2048.0);
+        let fast = min_retained(
+            &chip,
+            params,
+            DEFAULT_BUCKET_BYTES,
+            CastPlacement::GpuCastMoveFp32,
+            OptimizerImpl::GraceAdam,
+            bwd_per_elem,
+        );
+        let slow = min_retained(
+            &chip,
+            params,
+            DEFAULT_BUCKET_BYTES,
+            CastPlacement::GpuCastMoveFp32,
+            OptimizerImpl::PtCpu,
+            bwd_per_elem,
+        );
+        assert!(slow >= fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_index_bounds() {
+        let plan = BucketPlan::new(1000, DEFAULT_BUCKET_BYTES, 0);
+        let _ = plan.bucket_elems(5);
+    }
+}

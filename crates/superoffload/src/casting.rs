@@ -1,0 +1,179 @@
+//! Superchip-Aware Casting (SAC, §4.5).
+//!
+//! Mixed-precision offloading must cast between FP16 (GPU compute format)
+//! and FP32 (CPU optimizer format) somewhere. Conventional systems minimize
+//! *communication volume*: cast on the CPU and move FP16 (2 bytes/param).
+//! On a Superchip this is wrong twice over: (1) the C2C link is fast enough
+//! that halving volume buys little, and (2) the transfer-then-cast pipeline
+//! stages through an **unpinned** temporary host buffer, falling off the DMA
+//! fast path. SuperOffload casts on the GPU and moves FP32 over the pinned
+//! path, which Fig. 9 measures as ~2× faster. This module models all three
+//! strategies and picks per link.
+
+use superchip_sim::topology::ChipSpec;
+use superchip_sim::SimTime;
+
+/// Bytes of device-memory traffic per element for an f16↔f32 cast
+/// (read one format + write the other: 2 + 4).
+pub const CAST_BYTES_PER_ELEM: u64 = 6;
+
+/// Where the precision cast happens, and in which format the link is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CastPlacement {
+    /// Cast on the GPU, move FP32 over the pinned DMA path (SuperOffload's
+    /// choice on Superchips).
+    GpuCastMoveFp32,
+    /// Move FP16, cast on the CPU via an unpinned staging buffer (the
+    /// default transfer-then-cast pipeline the paper measures in Fig. 9).
+    CpuCastMoveFp16Pageable,
+    /// Move FP16 into a pre-pinned buffer and fuse the cast into the CPU
+    /// optimizer (the classic ZeRO-Offload design on PCIe machines).
+    CpuCastMoveFp16Fused,
+}
+
+impl CastPlacement {
+    /// One-way time to deliver `elems` parameters' gradients from GPU to CPU
+    /// in FP32-usable form (cast included; for the fused variant the cast
+    /// cost is charged to the optimizer instead and excluded here).
+    pub fn one_way_time(self, chip: &ChipSpec, elems: u64) -> SimTime {
+        match self {
+            CastPlacement::GpuCastMoveFp32 => {
+                let cast = SimTime::from_secs(
+                    (elems * CAST_BYTES_PER_ELEM) as f64 / chip.gpu.mem_bandwidth,
+                );
+                cast + chip.c2c.transfer_time(4 * elems)
+            }
+            CastPlacement::CpuCastMoveFp16Pageable => {
+                let cast = SimTime::from_secs(
+                    (elems * CAST_BYTES_PER_ELEM) as f64 / chip.cpu.mem_bandwidth,
+                );
+                chip.c2c.transfer_time_pageable(2 * elems) + cast
+            }
+            CastPlacement::CpuCastMoveFp16Fused => chip.c2c.transfer_time(2 * elems),
+        }
+    }
+
+    /// Round-trip time (gradients out, updated parameters back) for `elems`
+    /// parameters — the quantity Fig. 9 compares.
+    pub fn round_trip_time(self, chip: &ChipSpec, elems: u64) -> SimTime {
+        self.one_way_time(chip, elems) * 2.0
+    }
+
+    /// Extra CPU-side cost this placement folds into the optimizer step
+    /// (non-zero only for the fused variant).
+    pub fn fused_optimizer_overhead(self, chip: &ChipSpec, elems: u64) -> SimTime {
+        match self {
+            CastPlacement::CpuCastMoveFp16Fused => SimTime::from_secs(
+                (elems * CAST_BYTES_PER_ELEM) as f64 / chip.cpu.mem_bandwidth,
+            ),
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Link bytes moved one way per element.
+    pub fn wire_bytes_per_elem(self) -> u64 {
+        match self {
+            CastPlacement::GpuCastMoveFp32 => 4,
+            _ => 2,
+        }
+    }
+
+    /// Chooses the cheaper placement for `chip` at a representative bucket
+    /// size — GPU-side casting on C2C-class links, fused CPU casting on
+    /// PCIe-class links (reproducing both the paper's finding and the
+    /// conventional wisdom it revisits).
+    pub fn choose(chip: &ChipSpec, elems: u64) -> CastPlacement {
+        let candidates = [
+            CastPlacement::GpuCastMoveFp32,
+            CastPlacement::CpuCastMoveFp16Pageable,
+            CastPlacement::CpuCastMoveFp16Fused,
+        ];
+        // Compare total cost including any fused optimizer surcharge.
+        candidates
+            .into_iter()
+            .min_by(|a, b| {
+                let ta = a.round_trip_time(chip, elems) + a.fused_optimizer_overhead(chip, elems);
+                let tb = b.round_trip_time(chip, elems) + b.fused_optimizer_overhead(chip, elems);
+                ta.cmp(&tb)
+            })
+            .expect("non-empty candidate list")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superchip_sim::presets;
+    use superchip_sim::MIB;
+
+    #[test]
+    fn gpu_cast_wins_on_gh200() {
+        // Fig. 9: Cast_cpu↔Move_fp16 takes ~2× the time of
+        // Cast_gpu↔Move_fp32 in the 256 MB–2 GB range.
+        let chip = presets::gh200_chip();
+        for mb in [256u64, 512, 1024, 2048] {
+            let elems = mb * MIB / 4; // fp32 elements for an `mb`-MiB tensor
+            let gpu = CastPlacement::GpuCastMoveFp32.round_trip_time(&chip, elems);
+            let cpu = CastPlacement::CpuCastMoveFp16Pageable.round_trip_time(&chip, elems);
+            let ratio = cpu / gpu;
+            assert!(
+                (1.5..3.5).contains(&ratio),
+                "{mb} MiB: cpu/gpu ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_picks_gpu_cast_on_superchip() {
+        let chip = presets::gh200_chip();
+        assert_eq!(
+            CastPlacement::choose(&chip, 16 * MIB),
+            CastPlacement::GpuCastMoveFp32
+        );
+    }
+
+    #[test]
+    fn choose_picks_fused_cpu_cast_on_pcie() {
+        // On DGX-class machines the link is the bottleneck: halving wire
+        // volume wins — the conventional wisdom the paper revisits.
+        for chip in [presets::dgx2_chip(), presets::dgx_a100_chip()] {
+            assert_eq!(
+                CastPlacement::choose(&chip, 16 * MIB),
+                CastPlacement::CpuCastMoveFp16Fused,
+                "on {}",
+                chip.name
+            );
+        }
+    }
+
+    #[test]
+    fn wire_bytes() {
+        assert_eq!(CastPlacement::GpuCastMoveFp32.wire_bytes_per_elem(), 4);
+        assert_eq!(
+            CastPlacement::CpuCastMoveFp16Pageable.wire_bytes_per_elem(),
+            2
+        );
+    }
+
+    #[test]
+    fn fused_overhead_only_for_fused() {
+        let chip = presets::gh200_chip();
+        assert_eq!(
+            CastPlacement::GpuCastMoveFp32.fused_optimizer_overhead(&chip, 1000),
+            SimTime::ZERO
+        );
+        assert!(
+            CastPlacement::CpuCastMoveFp16Fused.fused_optimizer_overhead(&chip, 1 << 20)
+                > SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn round_trip_is_twice_one_way() {
+        let chip = presets::gh200_chip();
+        let one = CastPlacement::GpuCastMoveFp32.one_way_time(&chip, 1 << 24);
+        let rt = CastPlacement::GpuCastMoveFp32.round_trip_time(&chip, 1 << 24);
+        assert!((rt.as_secs() - 2.0 * one.as_secs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Training-state checkpointing for the numeric engines.
+//!
+//! Serializes everything needed to resume bit-exactly — flat parameters,
+//! Adam moments, step counter, and the loss-scaler state — in a simple
+//! length-prefixed little-endian binary format (no external format
+//! dependencies). Resuming from a checkpoint continues the *identical*
+//! trajectory, which the tests assert against an uninterrupted run.
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a checkpoint stream.
+const MAGIC: &[u8; 8] = b"SOCKPT01";
+
+/// A self-contained snapshot of training state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+    /// Adam first moments.
+    pub m: Vec<f32>,
+    /// Adam second moments.
+    pub v: Vec<f32>,
+    /// 1-based optimizer step counter.
+    pub step: u64,
+    /// Current dynamic loss scale.
+    pub loss_scale: f32,
+    /// Clean steps since the scaler last grew or backed off.
+    pub scaler_good_steps: u32,
+    /// Overflow events seen so far.
+    pub overflow_count: u64,
+}
+
+/// Errors from checkpoint serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a checkpoint (bad magic or truncated).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_vec(w: &mut impl Write, v: &[f32]) -> io::Result<()> {
+    w.write_all(&(v.len() as u64).to_le_bytes())?;
+    for x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_vec(r: &mut impl Read) -> Result<Vec<f32>, CheckpointError> {
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let len = u64::from_le_bytes(len8) as usize;
+    // Defensive cap: a corrupted length should not trigger a huge allocation.
+    if len > (1 << 33) {
+        return Err(CheckpointError::Malformed("implausible vector length"));
+    }
+    let mut bytes = vec![0u8; len * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint to `w`.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] on write failure.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.step.to_le_bytes())?;
+        w.write_all(&self.loss_scale.to_le_bytes())?;
+        w.write_all(&self.scaler_good_steps.to_le_bytes())?;
+        w.write_all(&self.overflow_count.to_le_bytes())?;
+        write_vec(w, &self.params)?;
+        write_vec(w, &self.m)?;
+        write_vec(w, &self.v)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `r`.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Malformed`] on bad magic or inconsistent
+    /// buffer lengths, [`CheckpointError::Io`] on truncated input.
+    pub fn read_from(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::Malformed("bad magic"));
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let step = u64::from_le_bytes(b8);
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let loss_scale = f32::from_le_bytes(b4);
+        r.read_exact(&mut b4)?;
+        let scaler_good_steps = u32::from_le_bytes(b4);
+        r.read_exact(&mut b8)?;
+        let overflow_count = u64::from_le_bytes(b8);
+        let params = read_vec(r)?;
+        let m = read_vec(r)?;
+        let v = read_vec(r)?;
+        if m.len() != params.len() || v.len() != params.len() {
+            return Err(CheckpointError::Malformed("moment/parameter length mismatch"));
+        }
+        Ok(Checkpoint {
+            params,
+            m,
+            v,
+            step,
+            loss_scale,
+            scaler_good_steps,
+            overflow_count,
+        })
+    }
+
+    /// Serializes to an in-memory buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + 12 * self.params.len());
+        self.write_to(&mut buf).expect("Vec<u8> writes are infallible");
+        buf
+    }
+
+    /// Deserializes from an in-memory buffer.
+    ///
+    /// # Errors
+    /// Same conditions as [`Checkpoint::read_from`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::read_from(&mut io::Cursor::new(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            params: vec![1.0, -2.5, 3.25],
+            m: vec![0.1, 0.2, 0.3],
+            v: vec![0.01, 0.02, 0.03],
+            step: 42,
+            loss_scale: 1024.0,
+            scaler_good_steps: 17,
+            overflow_count: 3,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed("bad magic"))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [4usize, 12, bytes.len() - 3] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let bad = Checkpoint {
+            m: vec![0.0; 2],
+            ..sample()
+        };
+        let bytes = bad.to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let ckpt = Checkpoint {
+            params: vec![f32::INFINITY, f32::MIN_POSITIVE, -0.0],
+            m: vec![0.0; 3],
+            v: vec![0.0; 3],
+            ..sample()
+        };
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back.params[0], f32::INFINITY);
+        assert_eq!(back.params[2].to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -1,0 +1,58 @@
+//! SuperOffload: a Superchip-centric offloading system for LLM training.
+//!
+//! This crate is the reproduction of the paper's primary contribution. It
+//! has two halves that share the same policy code:
+//!
+//! - **Performance plane** — schedule builders that express SuperOffload
+//!   (and its ablations) as task graphs on the [`superchip_sim`] simulator:
+//!   [`schedule`] (single Superchip), [`zero_dp`] (multi-Superchip ZeRO-3
+//!   integration), and [`ulysses`] (SuperOffload-Ulysses sequence
+//!   parallelism). The paper's throughput, scale, and utilization results
+//!   are regenerated from these.
+//! - **Numeric plane** — [`engine`], a real multi-threaded
+//!   speculation-then-validation training executor over the miniature GPT of
+//!   [`llm_model`], demonstrating that STV is an *exact* optimization
+//!   (bit-identical to synchronous training) while overlapping optimizer
+//!   work with the next forward pass.
+//!
+//! The individual techniques of §4 each have a module:
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §4.1 SA-DFG                        | [`sadfg`] |
+//! | §4.2 adaptive weight offloading     | [`policy`] |
+//! | §4.3 bucketization repartitioning   | [`bucket`] |
+//! | §4.4 speculation-then-validation    | [`engine`] (real), [`schedule`] (modeled) |
+//! | §4.5 Superchip-aware casting        | [`casting`] |
+//! | §4.6 GraceAdam                      | [`costs`] (model), `grace_optim` (real) |
+//! | §4.7 multi-Superchip schedule       | [`zero_dp`], [`ulysses`], [`numa`] |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bucket;
+pub mod casting;
+pub mod checkpoint;
+pub mod costs;
+pub mod engine;
+pub mod engine_dp;
+pub mod numa;
+pub mod policy;
+pub mod report;
+pub mod sadfg;
+pub mod schedule;
+pub mod trainer;
+pub mod ulysses;
+pub mod ulysses_numeric;
+pub mod zero_dp;
+
+pub use bucket::BucketPlan;
+pub use checkpoint::Checkpoint;
+pub use casting::CastPlacement;
+pub use costs::OptimizerImpl;
+pub use engine::{StvEngine, StvStats, SyncEngine};
+pub use engine_dp::{DpStvEngine, DpSyncEngine};
+pub use policy::WeightPolicy;
+pub use report::TrainReport;
+pub use schedule::{simulate_single_chip, SuperOffloadOptions};
+pub use trainer::{Discipline, Trainer};

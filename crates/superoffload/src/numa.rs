@@ -1,0 +1,119 @@
+//! NUMA binding for multi-Superchip nodes (§4.7).
+//!
+//! In a K-way Superchip node each chip is its own NUMA domain. A launcher
+//! that scatters ranks across CPU cores can leave a GPU's offload traffic
+//! crossing the inter-Superchip fabric instead of NVLink-C2C. SuperOffload
+//! pins each rank to the cores of its local Grace CPU.
+
+use superchip_sim::topology::{ChipSpec, NodeSpec, NumaBinding};
+
+/// Core-range assignment of one training rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankBinding {
+    /// Rank index within the node.
+    pub rank: u32,
+    /// Superchip (NUMA node) the rank's GPU lives on.
+    pub chip: u32,
+    /// First CPU core assigned (inclusive).
+    pub core_start: u32,
+    /// One past the last CPU core assigned.
+    pub core_end: u32,
+    /// Whether the rank is co-located with its GPU's Grace CPU.
+    pub binding: NumaBinding,
+}
+
+/// Computes co-located bindings for `ranks` training processes on `node`
+/// (one rank per Superchip, each getting that chip's full core range).
+///
+/// # Panics
+/// Panics if `ranks` exceeds the node's chip count.
+pub fn colocated_bindings(node: &NodeSpec, ranks: u32) -> Vec<RankBinding> {
+    assert!(
+        ranks <= node.chip_count,
+        "{ranks} ranks exceed {} chips",
+        node.chip_count
+    );
+    let cores = node.chip.cpu.cores;
+    (0..ranks)
+        .map(|r| RankBinding {
+            rank: r,
+            chip: r,
+            core_start: r * cores,
+            core_end: (r + 1) * cores,
+            binding: NumaBinding::Colocated,
+        })
+        .collect()
+}
+
+/// Worst-case launcher behaviour: every rank lands on the *next* chip's
+/// cores (all traffic crosses the fabric). Used to quantify the penalty.
+pub fn scattered_bindings(node: &NodeSpec, ranks: u32) -> Vec<RankBinding> {
+    assert!(ranks <= node.chip_count);
+    let cores = node.chip.cpu.cores;
+    (0..ranks)
+        .map(|r| {
+            let cpu_chip = (r + 1) % node.chip_count;
+            RankBinding {
+                rank: r,
+                chip: cpu_chip,
+                core_start: cpu_chip * cores,
+                core_end: (cpu_chip + 1) * cores,
+                binding: if cpu_chip == r {
+                    NumaBinding::Colocated
+                } else {
+                    NumaBinding::Remote
+                },
+            }
+        })
+        .collect()
+}
+
+/// Bandwidth penalty factor of a binding: local C2C bandwidth divided by the
+/// bandwidth the binding actually achieves.
+pub fn binding_penalty(chip: &ChipSpec, binding: NumaBinding) -> f64 {
+    chip.c2c.peak_bandwidth() / chip.gpu_cpu_link(binding).peak_bandwidth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superchip_sim::presets;
+
+    #[test]
+    fn colocated_ranks_are_local_and_disjoint() {
+        let node = presets::gh200_nvl2_node();
+        let bindings = colocated_bindings(&node, 2);
+        assert_eq!(bindings.len(), 2);
+        for b in &bindings {
+            assert_eq!(b.binding, NumaBinding::Colocated);
+            assert_eq!(b.chip, b.rank);
+            assert_eq!(b.core_end - b.core_start, 72);
+        }
+        // Core ranges must not overlap.
+        assert!(bindings[0].core_end <= bindings[1].core_start);
+    }
+
+    #[test]
+    fn scattered_ranks_go_remote() {
+        let node = presets::gh200_nvl2_node();
+        let bindings = scattered_bindings(&node, 2);
+        assert!(bindings.iter().all(|b| b.binding == NumaBinding::Remote));
+    }
+
+    #[test]
+    fn remote_penalty_is_large_on_gh200() {
+        // C2C 450 GB/s vs Slingshot 25 GB/s: 18× penalty.
+        let chip = presets::gh200_chip();
+        let local = binding_penalty(&chip, NumaBinding::Colocated);
+        let remote = binding_penalty(&chip, NumaBinding::Remote);
+        assert_eq!(local, 1.0);
+        assert!(remote > 10.0, "penalty {remote}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_ranks_rejected() {
+        let node = presets::gh200_nvl2_node();
+        let _ = colocated_bindings(&node, 5);
+    }
+}

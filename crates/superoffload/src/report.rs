@@ -1,0 +1,98 @@
+//! The common result type every schedule simulation produces.
+
+use std::fmt;
+
+use llm_model::workload::ExecutionPlan;
+use superchip_sim::SimTime;
+
+/// Outcome of simulating a training system on a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// System name ("superoffload", "zero-offload", ...).
+    pub system: String,
+    /// The execution plan chosen by the system's planner, if feasible.
+    pub plan: Option<ExecutionPlan>,
+    /// Steady-state time per optimizer step.
+    pub iter_time: SimTime,
+    /// Effective throughput in TFLOPS per GPU (recomputation excluded).
+    pub tflops: f64,
+    /// Model FLOPs Utilization per GPU, in `[0, 1]`.
+    pub mfu: f64,
+    /// GPU busy fraction over the steady-state iteration.
+    pub gpu_util: f64,
+    /// CPU busy fraction over the steady-state iteration.
+    pub cpu_util: f64,
+}
+
+impl TrainReport {
+    /// An out-of-memory (infeasible) report.
+    pub fn oom(system: impl Into<String>) -> Self {
+        TrainReport {
+            system: system.into(),
+            plan: None,
+            iter_time: SimTime::ZERO,
+            tflops: 0.0,
+            mfu: 0.0,
+            gpu_util: 0.0,
+            cpu_util: 0.0,
+        }
+    }
+
+    /// Whether the workload fit.
+    pub fn feasible(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
+impl fmt::Display for TrainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.feasible() {
+            return write!(f, "{}: OOM", self.system);
+        }
+        write!(
+            f,
+            "{}: {:.1} TFLOPS ({} per iter, MFU {:.1}%, gpu {:.0}% cpu {:.0}%)",
+            self.system,
+            self.tflops,
+            self.iter_time,
+            self.mfu * 100.0,
+            self.gpu_util * 100.0,
+            self.cpu_util * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_both_outcomes() {
+        let oom = TrainReport::oom("ddp");
+        assert_eq!(oom.to_string(), "ddp: OOM");
+        let ok = TrainReport {
+            system: "superoffload".into(),
+            plan: Some(llm_model::workload::ExecutionPlan {
+                micro_batch: 8,
+                accum_steps: 1,
+                checkpointing: false,
+                activation_bytes: 0,
+            }),
+            iter_time: SimTime::from_secs(2.0),
+            tflops: 242.6,
+            mfu: 0.49,
+            gpu_util: 1.0,
+            cpu_util: 0.58,
+        };
+        let s = ok.to_string();
+        assert!(s.contains("242.6") && s.contains("49.0%"));
+    }
+
+    #[test]
+    fn oom_report_is_infeasible() {
+        let r = TrainReport::oom("ddp");
+        assert!(!r.feasible());
+        assert_eq!(r.system, "ddp");
+        assert_eq!(r.tflops, 0.0);
+    }
+}

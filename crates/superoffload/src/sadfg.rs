@@ -1,0 +1,329 @@
+//! The Superchip-Aware Dataflow Graph (SA-DFG, §4.1).
+//!
+//! Each vertex is a tensor operator annotated with its execution cost on
+//! *both* the Hopper GPU and the Grace CPU; each edge carries the bytes that
+//! would cross NVLink-C2C if its endpoints were placed on different devices.
+//! An offloading strategy is a two-way partition of this graph. SuperOffload
+//! evaluates partitions with an overlap-aware cost (devices and the two link
+//! directions run concurrently) rather than the classic min-edge-cut, which
+//! is exactly the shift the paper argues for: on a Superchip, cut *volume*
+//! stops being the right objective.
+
+use superchip_sim::topology::ChipSpec;
+use superchip_sim::SimTime;
+
+/// Where an operator executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Hopper GPU.
+    Gpu,
+    /// Grace CPU.
+    Cpu,
+}
+
+/// Operator category (drives default placement heuristics and reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Forward compute of a block.
+    Forward,
+    /// Backward compute of a block.
+    Backward,
+    /// Optimizer step of a bucket.
+    OptimizerStep,
+    /// Precision cast.
+    Cast,
+}
+
+/// A vertex of the SA-DFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpNode {
+    /// Name for reporting ("block3.bwd", "bucket2.step").
+    pub name: String,
+    /// Category.
+    pub kind: OpKind,
+    /// Execution time if placed on the GPU.
+    pub gpu_time: SimTime,
+    /// Execution time if placed on the CPU.
+    pub cpu_time: SimTime,
+}
+
+/// A directed edge carrying `bytes` from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEdge {
+    /// Producer node index.
+    pub from: usize,
+    /// Consumer node index.
+    pub to: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// The Superchip-aware dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct SaDfg {
+    nodes: Vec<OpNode>,
+    edges: Vec<OpEdge>,
+}
+
+/// Cost breakdown of a placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementCost {
+    /// Total GPU busy time.
+    pub gpu_busy: SimTime,
+    /// Total CPU busy time.
+    pub cpu_busy: SimTime,
+    /// Total cross-device traffic time (both directions pooled).
+    pub comm: SimTime,
+    /// Bytes crossing the device boundary.
+    pub cut_bytes: u64,
+}
+
+impl PlacementCost {
+    /// Overlap-aware makespan lower bound: concurrent resources bound the
+    /// iteration by the *busiest* of them.
+    pub fn overlapped(&self) -> SimTime {
+        self.gpu_busy.max(self.cpu_busy).max(self.comm)
+    }
+
+    /// Fully serialized cost (the pessimistic classic view).
+    pub fn serialized(&self) -> SimTime {
+        self.gpu_busy + self.cpu_busy + self.comm
+    }
+}
+
+impl SaDfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, node: OpNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, bytes: u64) {
+        assert!(from < self.nodes.len() && to < self.nodes.len(), "edge endpoint out of range");
+        self.edges.push(OpEdge { from, to, bytes });
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[OpEdge] {
+        &self.edges
+    }
+
+    /// Evaluates a placement (one device per node).
+    ///
+    /// # Panics
+    /// Panics if `placement.len() != nodes.len()`.
+    pub fn evaluate(&self, chip: &ChipSpec, placement: &[Device]) -> PlacementCost {
+        assert_eq!(placement.len(), self.nodes.len(), "placement arity mismatch");
+        let mut gpu_busy = SimTime::ZERO;
+        let mut cpu_busy = SimTime::ZERO;
+        for (node, &dev) in self.nodes.iter().zip(placement) {
+            match dev {
+                Device::Gpu => gpu_busy += node.gpu_time,
+                Device::Cpu => cpu_busy += node.cpu_time,
+            }
+        }
+        let mut comm = SimTime::ZERO;
+        let mut cut_bytes = 0u64;
+        for e in &self.edges {
+            if placement[e.from] != placement[e.to] {
+                cut_bytes += e.bytes;
+                comm += chip.c2c.transfer_time(e.bytes);
+            }
+        }
+        PlacementCost {
+            gpu_busy,
+            cpu_busy,
+            comm,
+            cut_bytes,
+        }
+    }
+
+    /// Greedy overlap-aware partitioner: start with everything on the GPU,
+    /// then repeatedly move the single node that most reduces the overlapped
+    /// cost, until no move helps. Returns the placement.
+    pub fn partition(&self, chip: &ChipSpec) -> Vec<Device> {
+        let mut placement = vec![Device::Gpu; self.nodes.len()];
+        let mut best = self.evaluate(chip, &placement).overlapped();
+        loop {
+            let mut improved = false;
+            for i in 0..self.nodes.len() {
+                let original = placement[i];
+                placement[i] = match original {
+                    Device::Gpu => Device::Cpu,
+                    Device::Cpu => Device::Gpu,
+                };
+                let cost = self.evaluate(chip, &placement).overlapped();
+                if cost < best {
+                    best = cost;
+                    improved = true;
+                } else {
+                    placement[i] = original;
+                }
+            }
+            if !improved {
+                return placement;
+            }
+        }
+    }
+
+    /// Classic min-communication placement used by PCIe-era systems: move a
+    /// node to the CPU only when doing so reduces cut bytes (starting from
+    /// the conventional "optimizer on CPU" seed). Provided as the baseline
+    /// objective the paper's partitioner replaces.
+    pub fn partition_min_cut(&self) -> Vec<Device> {
+        // Optimizer and adjacent casts to CPU, compute stays on GPU — the
+        // greedy edge-cut described in §3 / ZeRO-Offload.
+        self.nodes
+            .iter()
+            .map(|n| match n.kind {
+                OpKind::OptimizerStep => Device::Cpu,
+                _ => Device::Gpu,
+            })
+            .collect()
+    }
+}
+
+/// Builds the canonical per-iteration SA-DFG for a model: per-layer forward
+/// and backward chains, per-bucket optimizer steps fed by backward, and
+/// parameter edges back into the next forward.
+pub fn build_iteration_graph(
+    chip: &ChipSpec,
+    layers: u32,
+    params_per_layer: u64,
+    batch_tokens: u64,
+) -> SaDfg {
+    let mut g = SaDfg::new();
+    // Compute times: 2·p·tokens forward FLOPs per layer, double for backward.
+    let fwd_flops = 2.0 * params_per_layer as f64 * batch_tokens as f64;
+    let mut fwd_ids = Vec::new();
+    let mut bwd_ids = Vec::new();
+    for l in 0..layers {
+        let fwd = g.add_node(OpNode {
+            name: format!("block{l}.fwd"),
+            kind: OpKind::Forward,
+            gpu_time: chip.gpu.time_for_flops(fwd_flops),
+            cpu_time: chip.cpu.time_for_flops(fwd_flops),
+        });
+        fwd_ids.push(fwd);
+        if l > 0 {
+            g.add_edge(fwd_ids[l as usize - 1], fwd, 2 * batch_tokens * 4096);
+        }
+    }
+    for l in (0..layers).rev() {
+        let bwd = g.add_node(OpNode {
+            name: format!("block{l}.bwd"),
+            kind: OpKind::Backward,
+            gpu_time: chip.gpu.time_for_flops(2.0 * fwd_flops),
+            cpu_time: chip.cpu.time_for_flops(2.0 * fwd_flops),
+        });
+        g.add_edge(fwd_ids[l as usize], bwd, 2 * batch_tokens * 4096);
+        bwd_ids.push(bwd);
+    }
+    // One optimizer step per layer-bucket, fed by that layer's backward.
+    for (i, l) in (0..layers).rev().enumerate() {
+        let opt_flops = 16.0 * params_per_layer as f64; // few FLOPs per param
+        let step = g.add_node(OpNode {
+            name: format!("block{l}.step"),
+            kind: OpKind::OptimizerStep,
+            // Optimizer is bandwidth-bound on both devices.
+            gpu_time: crate::costs::gpu_optimizer_time(&chip.gpu, params_per_layer),
+            cpu_time: crate::costs::OptimizerImpl::GraceAdam
+                .step_time(&chip.cpu, params_per_layer),
+        });
+        let _ = opt_flops;
+        g.add_edge(bwd_ids[i], step, 4 * params_per_layer); // fp32 grads
+        // Updated parameters feed the next iteration's forward.
+        g.add_edge(step, fwd_ids[l as usize], 4 * params_per_layer);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superchip_sim::presets;
+
+    fn graph() -> (ChipSpec, SaDfg) {
+        let chip = presets::gh200_chip();
+        let g = build_iteration_graph(&chip, 8, 100_000_000, 8 * 2048);
+        (chip, g)
+    }
+
+    #[test]
+    fn graph_shape() {
+        let (_, g) = graph();
+        assert_eq!(g.nodes().len(), 8 * 3);
+        assert!(!g.edges().is_empty());
+    }
+
+    #[test]
+    fn all_gpu_placement_has_zero_cut() {
+        let (chip, g) = graph();
+        let cost = g.evaluate(&chip, &vec![Device::Gpu; g.nodes().len()]);
+        assert_eq!(cost.cut_bytes, 0);
+        assert_eq!(cost.cpu_busy, SimTime::ZERO);
+        assert_eq!(cost.comm, SimTime::ZERO);
+    }
+
+    #[test]
+    fn partitioner_offloads_optimizer_keeps_compute() {
+        let (chip, g) = graph();
+        let placement = g.partition(&chip);
+        for (node, dev) in g.nodes().iter().zip(&placement) {
+            match node.kind {
+                OpKind::Forward | OpKind::Backward => {
+                    assert_eq!(*dev, Device::Gpu, "{} should stay on GPU", node.name);
+                }
+                OpKind::OptimizerStep => {
+                    assert_eq!(*dev, Device::Cpu, "{} should offload", node.name);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_objective_beats_or_ties_min_cut() {
+        let (chip, g) = graph();
+        let ours = g.evaluate(&chip, &g.partition(&chip)).overlapped();
+        let classic = g.evaluate(&chip, &g.partition_min_cut()).overlapped();
+        assert!(ours <= classic);
+    }
+
+    #[test]
+    fn overlapped_cost_is_lower_bound_of_serialized() {
+        let (chip, g) = graph();
+        let placement = g.partition(&chip);
+        let cost = g.evaluate(&chip, &placement);
+        assert!(cost.overlapped() <= cost.serialized());
+    }
+
+    #[test]
+    #[should_panic(expected = "placement arity")]
+    fn placement_arity_checked() {
+        let (chip, g) = graph();
+        let _ = g.evaluate(&chip, &[Device::Gpu]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        let mut g = SaDfg::new();
+        g.add_edge(0, 1, 10);
+    }
+}

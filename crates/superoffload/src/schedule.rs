@@ -1,0 +1,732 @@
+//! The SuperOffload single-Superchip training schedule (§4.1–§4.6 combined).
+//!
+//! Builds the per-iteration task graph on the discrete-event simulator:
+//! forward/backward on the GPU, bucketized gradient swap-out, CPU optimizer
+//! steps (GraceAdam), parameter swap-in, with every §4 technique as a
+//! toggle so the Table 2 ablation falls out of the same builder:
+//!
+//! - **STV** (§4.4): optimizer steps launch per-bucket as gradients arrive,
+//!   overlapping the remaining backward; validation runs on spare cores off
+//!   the critical path. Without it (STE), a global norm/NaN sync gates every
+//!   step.
+//! - **SAC** (§4.5): casts on the GPU and moves FP32 over the pinned path;
+//!   without it, FP16 moves through a pageable staging buffer and casts on
+//!   the CPU.
+//! - **Bucketization repartitioning** (§4.3): the last `n` buckets' optimizer
+//!   state stays on the GPU; without it everything steps on the CPU.
+//! - **GraceAdam** (§4.6): the CPU step runs at GraceAdam speed; without it,
+//!   at CPU-Adam speed.
+
+use llm_model::flops::{tflops, TrainingFlops};
+use llm_model::memory::ModelStateMemory;
+use llm_model::workload::{ExecutionPlan, Workload};
+use superchip_sim::prelude::*;
+
+use crate::bucket::{min_retained, BucketPlan, DEFAULT_BUCKET_BYTES};
+use crate::casting::CastPlacement;
+use crate::costs::{
+    gpu_optimizer_time, pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_TUNED,
+};
+use crate::policy::{choose_policy, WeightPolicy};
+use crate::report::TrainReport;
+
+/// Fraction of GPU memory usable for model data (the rest is CUDA context,
+/// fragmentation, and framework workspace).
+pub const GPU_USABLE: f64 = 0.92;
+
+/// Fraction of CPU memory usable for offloaded state (the rest is OS,
+/// runtime, and pinned staging pools).
+pub const CPU_USABLE: f64 = 0.85;
+
+/// Dense-math peak as a fraction of the headline (sparsity-assisted) FLOPS
+/// figure; MFU is conventionally reported against the dense peak.
+pub const DENSE_PEAK_FRACTION: f64 = 0.5;
+
+/// Configuration of the SuperOffload schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperOffloadOptions {
+    /// Transfer bucket size in bytes (FP32 gradient bytes). Default 64 MiB.
+    pub bucket_bytes: u64,
+    /// Buckets whose optimizer state stays on the GPU; `None` = automatic
+    /// (closed-form seed + grid search).
+    pub retained_buckets: Option<u32>,
+    /// CPU optimizer implementation.
+    pub optimizer: OptimizerImpl,
+    /// Cast placement; `None` = automatic per-chip choice.
+    pub cast: Option<CastPlacement>,
+    /// Speculation-then-validation on (vs synchronize-then-execute).
+    pub use_stv: bool,
+    /// Bucketization repartitioning on (retained buckets allowed).
+    pub use_repartition: bool,
+    /// Weight placement; `None` = adaptive.
+    pub weight_policy: Option<WeightPolicy>,
+    /// Iterations to simulate (steady state needs ≥ 3).
+    pub iterations: u32,
+    /// Per-operation framework overhead in seconds.
+    pub op_overhead_secs: f64,
+}
+
+impl Default for SuperOffloadOptions {
+    fn default() -> Self {
+        SuperOffloadOptions {
+            bucket_bytes: DEFAULT_BUCKET_BYTES,
+            retained_buckets: None,
+            optimizer: OptimizerImpl::GraceAdam,
+            cast: None,
+            use_stv: true,
+            use_repartition: true,
+            weight_policy: None,
+            iterations: 4,
+            op_overhead_secs: OP_OVERHEAD_TUNED,
+        }
+    }
+}
+
+impl SuperOffloadOptions {
+    /// The Table 2 ablation constructor: each flag enables one technique.
+    pub fn ablation(grace_adam: bool, sac: bool, stv: bool, repartition: bool) -> Self {
+        SuperOffloadOptions {
+            optimizer: if grace_adam {
+                OptimizerImpl::GraceAdam
+            } else {
+                OptimizerImpl::CpuAdam
+            },
+            cast: Some(if sac {
+                CastPlacement::GpuCastMoveFp32
+            } else {
+                CastPlacement::CpuCastMoveFp16Pageable
+            }),
+            use_stv: stv,
+            use_repartition: repartition,
+            ..SuperOffloadOptions::default()
+        }
+    }
+}
+
+/// Simulates SuperOffload on a single Superchip.
+///
+/// Returns [`TrainReport::oom`] when the workload does not fit under any
+/// execution plan.
+pub fn simulate_single_chip(
+    chip: &ChipSpec,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> TrainReport {
+    simulate_single_chip_traced(chip, workload, opts).0
+}
+
+/// Resource names of the single-chip schedule, in registration (tid) order —
+/// pass to [`superchip_sim::chrome_trace::to_chrome_trace`].
+pub const SINGLE_CHIP_RESOURCES: [&str; 5] =
+    ["gpu", "cpu", "c2c-d2h", "c2c-h2d", "cpu-validator"];
+
+/// Like [`simulate_single_chip`], additionally returning the execution
+/// trace of the winning configuration (None when infeasible) for timeline
+/// inspection (ASCII Gantt or Chrome-trace export).
+pub fn simulate_single_chip_traced(
+    chip: &ChipSpec,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> (TrainReport, Option<Trace>) {
+    match opts.retained_buckets {
+        Some(_) => simulate_fixed(chip, workload, opts),
+        None => {
+            // Grid search around the closed-form seed (§4.3).
+            let cast = opts
+                .cast
+                .unwrap_or_else(|| CastPlacement::choose(chip, opts.bucket_bytes / 4));
+            let params = workload.config.param_count();
+            let bwd_per_elem = chip
+                .gpu
+                .time_for_flops(4.0 * workload.global_batch as f64 * workload.seq as f64);
+            let seed = if opts.use_repartition {
+                min_retained(
+                    chip,
+                    params,
+                    opts.bucket_bytes,
+                    cast,
+                    opts.optimizer,
+                    bwd_per_elem,
+                )
+            } else {
+                0
+            };
+            let max_buckets = BucketPlan::new(params, opts.bucket_bytes, 0).num_buckets;
+            let mut candidates: Vec<u32> = if opts.use_repartition {
+                // Closed-form seed, its neighbourhood, and coarse fractions
+                // of the whole bucket count: grad-accumulation and pipeline
+                // sweeps can push the CPU past the backward time, where far
+                // more retention pays off than Eq. 4-5 alone suggests.
+                vec![
+                    0,
+                    seed.saturating_sub(2),
+                    seed.saturating_sub(1),
+                    seed,
+                    seed + 1,
+                    seed + 2,
+                    seed * 2,
+                    max_buckets / 16,
+                    max_buckets / 8,
+                    max_buckets / 4,
+                    3 * max_buckets / 8,
+                    max_buckets / 2,
+                ]
+            } else {
+                vec![0]
+            };
+            candidates.retain(|&n| n <= max_buckets);
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut best: Option<(TrainReport, Option<Trace>)> = None;
+            for n in candidates {
+                let fixed = SuperOffloadOptions {
+                    retained_buckets: Some(n),
+                    cast: Some(cast),
+                    ..*opts
+                };
+                let result = simulate_fixed(chip, workload, &fixed);
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => result.0.feasible() && result.0.tflops > b.tflops,
+                };
+                if better {
+                    best = Some(result);
+                }
+            }
+            best.unwrap_or_else(|| (TrainReport::oom("superoffload"), None))
+        }
+    }
+}
+
+fn simulate_fixed(
+    chip: &ChipSpec,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> (TrainReport, Option<Trace>) {
+    let system = "superoffload";
+    let params = workload.config.param_count();
+    let states = ModelStateMemory::for_params(params);
+    let cast = opts
+        .cast
+        .unwrap_or_else(|| CastPlacement::choose(chip, opts.bucket_bytes / 4));
+    let retained = if opts.use_repartition {
+        opts.retained_buckets.unwrap_or(0)
+    } else {
+        0
+    };
+    let plan_buckets = BucketPlan::new(params, opts.bucket_bytes, retained);
+
+    // --- Memory planning -------------------------------------------------
+    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+
+    // Staging: double-buffered gradient-out and param-in buckets (FP32).
+    let staging = 4 * opts.bucket_bytes;
+    let reserved = plan_buckets.retained_gpu_bytes() + staging;
+
+    let weight_policy = opts
+        .weight_policy
+        .unwrap_or_else(|| choose_policy(chip, workload, reserved));
+    let resident_weights =
+        (states.fp16_params as f64 * weight_policy.resident_fraction()) as u64;
+
+    let gpu_resident = resident_weights + reserved;
+    if gpu_resident > gpu_cap {
+        return (TrainReport::oom(system), None);
+    }
+
+    // CPU holds FP32 master + moments for CPU buckets, plus the streamed
+    // FP16 weights when flowing, plus pinned transfer pools.
+    let cpu_bucket_elems: u64 = params - plan_buckets.retained_elems();
+    let streamed_weights =
+        (states.fp16_params as f64 * weight_policy.streamed_fraction()) as u64;
+    let cpu_resident = 12 * cpu_bucket_elems + streamed_weights + staging;
+    if cpu_resident > cpu_cap {
+        return (TrainReport::oom(system), None);
+    }
+
+    let Some(plan) = ExecutionPlan::best(workload, gpu_cap - gpu_resident) else {
+        return (TrainReport::oom(system), None);
+    };
+
+    // --- Cost inputs ------------------------------------------------------
+    let flops = TrainingFlops::for_iteration(
+        &workload.config,
+        workload.global_batch,
+        workload.seq,
+        plan.checkpointing,
+    );
+    let compute = ComputeTimes::new(&chip.gpu, &flops, plan.micro_steps());
+    let overhead = SimTime::from_secs(opts.op_overhead_secs);
+
+    // --- Task graph -------------------------------------------------------
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource(SINGLE_CHIP_RESOURCES[0]);
+    let cpu = sim.add_resource(SINGLE_CHIP_RESOURCES[1]);
+    let d2h = sim.add_resource(SINGLE_CHIP_RESOURCES[2]);
+    let h2d = sim.add_resource(SINGLE_CHIP_RESOURCES[3]);
+    let cpu_val = sim.add_resource(SINGLE_CHIP_RESOURCES[4]);
+
+    let b = plan_buckets.num_buckets;
+    let micro = plan.micro_steps();
+
+    // Weight streaming per pass (flow policy): bytes over h2d per micro-step.
+    let streamed_frac = weight_policy.streamed_fraction();
+    let stream_bytes_per_pass = (states.fp16_params as f64 * streamed_frac) as u64;
+
+    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
+        let mut gates_local = Vec::new();
+        let mut prev_gate: Option<TaskId> = None;
+        for _iter in 0..opts.iterations {
+            let gate_dep = prev_gate;
+            let mut iter_end_deps: Vec<TaskId> = Vec::new();
+            let mut last_bwd_chunk: Option<TaskId> = None;
+            let mut grad_arrivals: Vec<(u32, TaskId)> = Vec::new();
+
+            for m in 0..micro {
+                // Forward (with optional weight streaming fetch).
+                let mut fwd_dep: Vec<TaskId> = gate_dep.into_iter().collect();
+                if let Some(prev) = last_bwd_chunk {
+                    fwd_dep.push(prev);
+                }
+                if stream_bytes_per_pass > 0 {
+                    let fetch = sim.add_task(
+                        TaskSpec::transfer(
+                            h2d,
+                            chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
+                        )
+                        .with_label("weight-fetch-fwd")
+                        .after_all(fwd_dep.iter().copied()),
+                    )?;
+                    fwd_dep.push(fetch);
+                }
+                let fwd = sim.add_task(
+                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
+                        .with_label("fwd")
+                        .after_all(fwd_dep.iter().copied()),
+                )?;
+
+                // Backward, chunked by bucket (grads appear bucket by bucket,
+                // in reverse parameter order).
+                let mut bwd_fetch: Option<TaskId> = None;
+                if stream_bytes_per_pass > 0 {
+                    bwd_fetch = Some(sim.add_task(
+                        TaskSpec::transfer(
+                            h2d,
+                            chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
+                        )
+                        .with_label("weight-fetch-bwd")
+                        .after(fwd),
+                    )?);
+                }
+                let mut prev_chunk = fwd;
+                for bi in 0..b {
+                    let elems = plan_buckets.bucket_elems(bi);
+                    let frac = elems as f64 / params as f64;
+                    let mut spec = TaskSpec::compute(
+                        gpu,
+                        compute.bwd_per_micro * frac + overhead,
+                    )
+                    .with_label(format!("bwd[{bi}]"))
+                    .after(prev_chunk);
+                    if let Some(f) = bwd_fetch {
+                        spec = spec.after(f);
+                    }
+                    let chunk = sim.add_task(spec)?;
+                    prev_chunk = chunk;
+
+                    // Gradient swap-out for CPU buckets, every micro-step
+                    // (accumulation happens CPU-side in FP32).
+                    if !plan_buckets.is_retained(bi) {
+                        let xfer_time = match cast {
+                            CastPlacement::GpuCastMoveFp32 => {
+                                // Cast on GPU, then pinned FP32 move.
+                                let c = sim.add_task(
+                                    TaskSpec::cast(
+                                        gpu,
+                                        SimTime::from_secs(
+                                            (elems * 6) as f64 / chip.gpu.mem_bandwidth,
+                                        ) + overhead,
+                                    )
+                                    .with_label(format!("cast-gpu[{bi}]"))
+                                    .after(chunk),
+                                )?;
+                                (chip.c2c.transfer_time(4 * elems), c)
+                            }
+                            CastPlacement::CpuCastMoveFp16Pageable => {
+                                (chip.c2c.transfer_time_pageable(2 * elems), chunk)
+                            }
+                            CastPlacement::CpuCastMoveFp16Fused => {
+                                (chip.c2c.transfer_time(2 * elems), chunk)
+                            }
+                        };
+                        let mut xfer = sim.add_task(
+                            TaskSpec::transfer(d2h, xfer_time.0 + overhead)
+                                .with_label(format!("grad-out[{bi}]"))
+                                .after(xfer_time.1),
+                        )?;
+                        if cast == CastPlacement::CpuCastMoveFp16Pageable {
+                            xfer = sim.add_task(
+                                TaskSpec::cast(
+                                    cpu,
+                                    SimTime::from_secs(
+                                        (elems * 6) as f64 / chip.cpu.mem_bandwidth,
+                                    ) + overhead,
+                                )
+                                .with_label(format!("cast-cpu[{bi}]"))
+                                .after(xfer),
+                            )?;
+                        }
+                        if m + 1 < micro {
+                            // Accumulate into FP32 CPU gradients.
+                            let acc = sim.add_task(
+                                TaskSpec::compute(
+                                    cpu,
+                                    SimTime::from_secs(
+                                        (elems * 12) as f64 / chip.cpu.mem_bandwidth,
+                                    ) + overhead,
+                                )
+                                .with_label(format!("grad-accum[{bi}]"))
+                                .after(xfer),
+                            )?;
+                            iter_end_deps.push(acc);
+                        } else {
+                            grad_arrivals.push((bi, xfer));
+                        }
+                    } else if m + 1 == micro {
+                        grad_arrivals.push((bi, chunk));
+                    }
+                }
+                last_bwd_chunk = Some(prev_chunk);
+            }
+
+            // --- Optimizer phase -----------------------------------------
+            // STE: a global norm/NaN synchronization gates every step.
+            let norm_sync = if opts.use_stv {
+                None
+            } else {
+                let all: Vec<TaskId> = grad_arrivals.iter().map(|&(_, t)| t).collect();
+                Some(sim.add_task(
+                    TaskSpec::compute(
+                        cpu,
+                        SimTime::from_secs((4 * params) as f64 / chip.cpu.mem_bandwidth)
+                            + overhead,
+                    )
+                    .with_label("global-norm-sync")
+                    .after_all(all),
+                )?)
+            };
+
+            for &(bi, arrival) in &grad_arrivals {
+                let elems = plan_buckets.bucket_elems(bi);
+                if plan_buckets.is_retained(bi) {
+                    // GPU-resident optimizer step.
+                    let mut spec = TaskSpec::compute(
+                        gpu,
+                        gpu_optimizer_time(&chip.gpu, elems) + overhead,
+                    )
+                    .with_label(format!("step-gpu[{bi}]"))
+                    .after(arrival);
+                    if let Some(ns) = norm_sync {
+                        spec = spec.after(ns);
+                    }
+                    let step = sim.add_task(spec)?;
+                    iter_end_deps.push(step);
+                } else {
+                    // CPU optimizer step (+ fused cast overhead if any).
+                    let step_time = pipeline_step_time(opts.optimizer, &chip.cpu, elems)
+                        + cast.fused_optimizer_overhead(chip, elems);
+                    let mut spec = TaskSpec::compute(cpu, step_time + overhead)
+                        .with_label(format!("step-cpu[{bi}]"))
+                        .after(arrival);
+                    if let Some(ns) = norm_sync {
+                        spec = spec.after(ns);
+                    }
+                    let step = sim.add_task(spec)?;
+
+                    // STV: background validation on spare cores, off the
+                    // critical path (scans the bucket's gradients).
+                    if opts.use_stv {
+                        sim.add_task(
+                            TaskSpec::compute(
+                                cpu_val,
+                                SimTime::from_secs(
+                                    (4 * elems) as f64 / (chip.cpu.mem_bandwidth * 0.25),
+                                ),
+                            )
+                            .with_label(format!("validate[{bi}]"))
+                            .after(arrival),
+                        )?;
+                    }
+
+                    // Parameter swap-in.
+                    let (ret_time, ret_dep) = match cast {
+                        CastPlacement::GpuCastMoveFp32 => {
+                            (chip.c2c.transfer_time(4 * elems), step)
+                        }
+                        CastPlacement::CpuCastMoveFp16Pageable => {
+                            let c = sim.add_task(
+                                TaskSpec::cast(
+                                    cpu,
+                                    SimTime::from_secs(
+                                        (elems * 6) as f64 / chip.cpu.mem_bandwidth,
+                                    ) + overhead,
+                                )
+                                .with_label(format!("cast-param[{bi}]"))
+                                .after(step),
+                            )?;
+                            (chip.c2c.transfer_time_pageable(2 * elems), c)
+                        }
+                        CastPlacement::CpuCastMoveFp16Fused => {
+                            (chip.c2c.transfer_time(2 * elems), step)
+                        }
+                    };
+                    let ret = sim.add_task(
+                        TaskSpec::transfer(h2d, ret_time + overhead)
+                            .with_label(format!("param-in[{bi}]"))
+                            .after(ret_dep),
+                    )?;
+                    if cast == CastPlacement::GpuCastMoveFp32 {
+                        let c = sim.add_task(
+                            TaskSpec::cast(
+                                gpu,
+                                SimTime::from_secs(
+                                    (elems * 6) as f64 / chip.gpu.mem_bandwidth,
+                                ) + overhead,
+                            )
+                            .with_label(format!("cast-param-gpu[{bi}]"))
+                            .after(ret),
+                        )?;
+                        iter_end_deps.push(c);
+                    } else {
+                        iter_end_deps.push(ret);
+                    }
+                }
+            }
+
+            let gate = sim.add_task(
+                TaskSpec::sync(gpu)
+                    .with_label("iter-gate")
+                    .after_all(iter_end_deps),
+            )?;
+            prev_gate = Some(gate);
+            gates_local.push(gate);
+        }
+        Ok(gates_local)
+    };
+
+    let gates = match build(&mut sim) {
+        Ok(g) => g,
+        Err(_) => return (TrainReport::oom(system), None),
+    };
+
+    let trace = match sim.run() {
+        Ok(t) => t,
+        Err(_) => return (TrainReport::oom(system), None),
+    };
+
+    let report =
+        finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan);
+    (report, Some(trace))
+}
+
+/// Extracts a steady-state [`TrainReport`] from a multi-iteration trace
+/// (shared with the multi-chip and baseline builders).
+///
+/// # Panics
+/// Panics if fewer than two iteration gates are supplied (steady state
+/// requires at least one full iteration delta).
+#[allow(clippy::too_many_arguments)]
+pub fn finalize_report(
+    system: &str,
+    trace: &Trace,
+    gates: &[TaskId],
+    gpu: superchip_sim::engine::ResourceId,
+    cpu: superchip_sim::engine::ResourceId,
+    effective_flops: f64,
+    chip: &ChipSpec,
+    plan: ExecutionPlan,
+) -> TrainReport {
+    assert!(gates.len() >= 2, "need >= 2 iterations for steady state");
+    let first = trace.end_time(gates[0]).expect("gate executed");
+    let last = trace.end_time(*gates.last().expect("nonempty")).expect("gate executed");
+    let span = last - first;
+    let iters = (gates.len() - 1) as f64;
+    let iter_time = span / iters;
+
+    // Busy time inside the steady-state window.
+    let busy_in_window = |r| -> SimTime {
+        trace
+            .intervals_on(r)
+            .into_iter()
+            .map(|iv| {
+                let s = iv.start.max(first);
+                let e = iv.end.min(last);
+                e.saturating_sub(s)
+            })
+            .sum()
+    };
+    let gpu_busy = busy_in_window(gpu);
+    let cpu_busy = busy_in_window(cpu);
+
+    let t = tflops(effective_flops, iter_time.as_secs());
+    TrainReport {
+        system: system.to_string(),
+        plan: Some(plan),
+        iter_time,
+        tflops: t,
+        mfu: effective_flops
+            / (iter_time.as_secs() * chip.gpu.peak_flops * DENSE_PEAK_FRACTION),
+        gpu_util: if span > SimTime::ZERO { gpu_busy / span } else { 0.0 },
+        cpu_util: if span > SimTime::ZERO { cpu_busy / span } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn five_b_is_feasible_and_fast() {
+        let chip = presets::gh200_chip();
+        let r = simulate_single_chip(&chip, &wl("5B", 8), &SuperOffloadOptions::default());
+        assert!(r.feasible());
+        assert!(r.tflops > 100.0, "tflops {}", r.tflops);
+        assert!(r.gpu_util > 0.7, "gpu util {}", r.gpu_util);
+    }
+
+    #[test]
+    fn ablation_is_monotone() {
+        // Table 2: each enabled technique should not hurt throughput.
+        let chip = presets::gh200_chip();
+        let w = wl("5B", 8);
+        let rows = [
+            SuperOffloadOptions::ablation(false, false, false, false),
+            SuperOffloadOptions::ablation(true, false, false, false),
+            SuperOffloadOptions::ablation(true, true, false, false),
+            SuperOffloadOptions::ablation(true, true, true, false),
+            SuperOffloadOptions::ablation(true, true, true, true),
+        ];
+        let mut prev = 0.0;
+        for (i, opts) in rows.iter().enumerate() {
+            let r = simulate_single_chip(&chip, &w, opts);
+            assert!(r.feasible(), "row {i} OOM");
+            assert!(
+                r.tflops >= prev * 0.98,
+                "row {i} regressed: {} < {prev}",
+                r.tflops
+            );
+            prev = r.tflops;
+        }
+    }
+
+    #[test]
+    fn stv_is_the_largest_single_win() {
+        let chip = presets::gh200_chip();
+        let w = wl("5B", 8);
+        let without = simulate_single_chip(
+            &chip,
+            &w,
+            &SuperOffloadOptions::ablation(true, true, false, false),
+        );
+        let with = simulate_single_chip(
+            &chip,
+            &w,
+            &SuperOffloadOptions::ablation(true, true, true, false),
+        );
+        let gain = with.tflops / without.tflops;
+        assert!(gain > 1.2, "STV gain only {gain}");
+    }
+
+    #[test]
+    fn large_model_uses_flow_and_fits() {
+        let chip = presets::gh200_chip();
+        let r = simulate_single_chip(&chip, &wl("25B", 8), &SuperOffloadOptions::default());
+        assert!(r.feasible(), "25B should fit on one GH200 with SuperOffload");
+    }
+
+    #[test]
+    fn absurd_model_ooms() {
+        let chip = presets::gh200_chip();
+        let r = simulate_single_chip(&chip, &wl("200B", 8), &SuperOffloadOptions::default());
+        assert!(!r.feasible());
+    }
+
+    #[test]
+    fn gpu_utilization_near_full_with_all_techniques() {
+        // Fig. 15: SuperOffload achieves near-complete GPU utilization.
+        let chip = presets::gh200_chip();
+        let r = simulate_single_chip(&chip, &wl("5B", 8), &SuperOffloadOptions::default());
+        assert!(r.gpu_util > 0.85, "gpu util {}", r.gpu_util);
+    }
+
+    #[test]
+    fn ste_leaves_gpu_idle() {
+        // Fig. 4: without STV/repartitioning the GPU idles 40–50%.
+        let chip = presets::gh200_chip();
+        let r = simulate_single_chip(
+            &chip,
+            &wl("5B", 8),
+            &SuperOffloadOptions::ablation(false, false, false, false),
+        );
+        assert!(
+            r.gpu_util < 0.75,
+            "STE should leave substantial idle, util {}",
+            r.gpu_util
+        );
+    }
+
+    #[test]
+    fn repartitioning_pays_off_when_cpu_exceeds_backward() {
+        // The §4.3 regime: with the slower CPU-Adam pipeline the CPU phase
+        // outlasts backward, so retaining trailing buckets on the GPU trims
+        // the exposed tail even under STV.
+        let chip = presets::gh200_chip();
+        let w = wl("5B", 8);
+        let without = simulate_single_chip(
+            &chip,
+            &w,
+            &SuperOffloadOptions::ablation(false, true, true, false),
+        );
+        let with = simulate_single_chip(
+            &chip,
+            &w,
+            &SuperOffloadOptions::ablation(false, true, true, true),
+        );
+        assert!(without.feasible() && with.feasible());
+        let gain = with.tflops / without.tflops;
+        assert!(gain > 1.02, "repartitioning gain only {gain:.3}x");
+    }
+
+    #[test]
+    fn tiny_bucket_hurts_throughput() {
+        // Fig. 7 consequence: 1 MiB buckets underutilize the C2C link.
+        let chip = presets::gh200_chip();
+        let w = wl("5B", 8);
+        let big = simulate_single_chip(&chip, &w, &SuperOffloadOptions::default());
+        let small = simulate_single_chip(
+            &chip,
+            &w,
+            &SuperOffloadOptions {
+                bucket_bytes: superchip_sim::MIB,
+                ..SuperOffloadOptions::default()
+            },
+        );
+        assert!(small.tflops < big.tflops, "{} !< {}", small.tflops, big.tflops);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let chip = presets::gh200_chip();
+        let a = simulate_single_chip(&chip, &wl("5B", 8), &SuperOffloadOptions::default());
+        let b = simulate_single_chip(&chip, &wl("5B", 8), &SuperOffloadOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,330 @@
+//! The Fig. 1 user-facing API: wrap a model, get a training loop.
+//!
+//! The paper's pitch is that SuperOffload needs "a few lines of change":
+//!
+//! ```text
+//! model = BuildModel(config)          let model = GptModel::new(cfg, seed);
+//! optimizer = Optimizer(model)        let mut t = Trainer::new(model)
+//! model = SuperOffload.init(...)          .max_grad_norm(1.0)
+//! for batch in batches:                   .build();
+//!     loss = model(batch)             for _ in 0..steps {
+//!     model.backward()                    t.step(&data.next_batch(b, s))?;
+//!     model.step()                    }
+//! ```
+//!
+//! [`Trainer`] drives the real STV engine underneath (falling back to the
+//! synchronous engine on request), records the loss history and rollback
+//! events, and supports periodic bit-exact checkpointing.
+
+use llm_model::transformer::GptModel;
+use tensorlite::TensorError;
+
+use crate::checkpoint::Checkpoint;
+use crate::engine::{EngineConfig, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine};
+
+/// Which execution discipline drives the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// Speculation-then-validation (SuperOffload, §4.4).
+    #[default]
+    Stv,
+    /// Synchronize-then-execute (the conventional reference).
+    Sync,
+}
+
+/// Builder for a [`Trainer`] (non-consuming terminal, per Rust API
+/// conventions).
+#[derive(Debug, Clone)]
+pub struct TrainerBuilder {
+    model: GptModel,
+    cfg: EngineConfig,
+    discipline: Discipline,
+    checkpoint_every: Option<u64>,
+}
+
+impl TrainerBuilder {
+    /// Sets the learning rate.
+    pub fn learning_rate(&mut self, lr: f32) -> &mut Self {
+        self.cfg.adam.lr = lr;
+        self
+    }
+
+    /// Sets the global gradient-norm clip threshold.
+    pub fn max_grad_norm(&mut self, max_norm: f64) -> &mut Self {
+        self.cfg.max_grad_norm = max_norm;
+        self
+    }
+
+    /// Sets the initial dynamic loss scale.
+    pub fn initial_loss_scale(&mut self, scale: f32) -> &mut Self {
+        self.cfg.initial_loss_scale = scale;
+        self
+    }
+
+    /// Sets the gradient bucket count for the STV pipeline.
+    pub fn buckets(&mut self, buckets: usize) -> &mut Self {
+        self.cfg.buckets = buckets;
+        self
+    }
+
+    /// Selects the half-precision wire format.
+    pub fn precision(&mut self, precision: Precision) -> &mut Self {
+        self.cfg.precision = precision;
+        self
+    }
+
+    /// Selects the execution discipline (STV by default).
+    pub fn discipline(&mut self, discipline: Discipline) -> &mut Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Takes a checkpoint snapshot every `steps` optimizer steps, retrievable
+    /// via [`Trainer::checkpoints`].
+    pub fn checkpoint_every(&mut self, steps: u64) -> &mut Self {
+        assert!(steps > 0, "checkpoint interval must be non-zero");
+        self.checkpoint_every = Some(steps);
+        self
+    }
+
+    /// Builds the trainer.
+    pub fn build(&self) -> Trainer {
+        let engine = match self.discipline {
+            Discipline::Stv => Engine::Stv(StvEngine::new(self.model.clone(), self.cfg)),
+            Discipline::Sync => Engine::Sync(SyncEngine::new(self.model.clone(), self.cfg)),
+        };
+        Trainer {
+            engine,
+            checkpoint_every: self.checkpoint_every,
+            steps_taken: 0,
+            losses: Vec::new(),
+            rollback_steps: Vec::new(),
+            checkpoints: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Engine {
+    Stv(StvEngine),
+    Sync(SyncEngine),
+}
+
+/// A training loop over the numeric plane with history, rollback tracking,
+/// and periodic checkpoints.
+#[derive(Debug)]
+pub struct Trainer {
+    engine: Engine,
+    checkpoint_every: Option<u64>,
+    steps_taken: u64,
+    losses: Vec<(u64, f32)>,
+    rollback_steps: Vec<u64>,
+    checkpoints: Vec<(u64, Checkpoint)>,
+}
+
+impl Trainer {
+    /// Starts configuring a trainer for `model` (STV, defaults matching
+    /// [`EngineConfig::default`]). Returns the builder — mirroring the
+    /// paper's `SuperOffload.init(model, ...)` entry point.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(model: GptModel) -> TrainerBuilder {
+        TrainerBuilder {
+            model,
+            cfg: EngineConfig::default(),
+            discipline: Discipline::default(),
+            checkpoint_every: None,
+        }
+    }
+
+    /// Runs one training step over `batch`.
+    ///
+    /// # Errors
+    /// Propagates [`TensorError`] from the forward/backward pass.
+    pub fn step(&mut self, batch: &[Sample]) -> Result<StepOutcome, TensorError> {
+        let out = match &mut self.engine {
+            Engine::Stv(e) => e.train_step(batch)?,
+            Engine::Sync(e) => e.train_step(batch)?,
+        };
+        self.steps_taken += 1;
+        self.losses.push((self.steps_taken, out.loss()));
+        if out.rolled_back() {
+            self.rollback_steps.push(self.steps_taken);
+        }
+        if let Some(every) = self.checkpoint_every {
+            if self.steps_taken.is_multiple_of(every) {
+                self.checkpoints.push((self.steps_taken, self.snapshot()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs `steps` training steps pulling batches from `next_batch`.
+    ///
+    /// # Errors
+    /// Stops at and returns the first [`TensorError`].
+    pub fn run(
+        &mut self,
+        steps: u64,
+        mut next_batch: impl FnMut() -> Vec<Sample>,
+    ) -> Result<(), TensorError> {
+        for _ in 0..steps {
+            let batch = next_batch();
+            self.step(&batch)?;
+        }
+        Ok(())
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &GptModel {
+        match &self.engine {
+            Engine::Stv(e) => e.model(),
+            Engine::Sync(e) => e.model(),
+        }
+    }
+
+    /// Engine statistics (steps, skips, clip rollbacks).
+    pub fn stats(&self) -> StvStats {
+        match &self.engine {
+            Engine::Stv(e) => e.stats(),
+            Engine::Sync(e) => e.stats(),
+        }
+    }
+
+    /// `(step, loss)` history, one entry per call to [`Trainer::step`].
+    pub fn losses(&self) -> &[(u64, f32)] {
+        &self.losses
+    }
+
+    /// Steps at which a rollback (skip or clip) occurred.
+    pub fn rollback_steps(&self) -> &[u64] {
+        &self.rollback_steps
+    }
+
+    /// Periodic checkpoints collected so far (step, snapshot).
+    pub fn checkpoints(&self) -> &[(u64, Checkpoint)] {
+        &self.checkpoints
+    }
+
+    /// Takes an on-demand snapshot of the full training state.
+    pub fn snapshot(&self) -> Checkpoint {
+        match &self.engine {
+            Engine::Stv(e) => e.checkpoint(),
+            Engine::Sync(e) => e.checkpoint(),
+        }
+    }
+
+    /// Restores training state from a snapshot; the continued trajectory is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics on a parameter-count mismatch.
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        match &mut self.engine {
+            Engine::Stv(e) => e.restore(ckpt),
+            Engine::Sync(e) => e.restore(ckpt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_model::transformer::GptConfig;
+    use llm_model::SyntheticPile;
+
+    fn model() -> GptModel {
+        GptModel::new(
+            GptConfig {
+                vocab: 43,
+                hidden: 16,
+                layers: 2,
+                heads: 2,
+                max_seq: 16,
+            },
+            808,
+        )
+    }
+
+    #[test]
+    fn builder_one_liner_trains() {
+        let mut trainer = Trainer::new(model()).build();
+        let mut pile = SyntheticPile::new(43, 1);
+        trainer.run(20, || pile.next_batch(2, 12)).unwrap();
+        assert_eq!(trainer.losses().len(), 20);
+        assert!(trainer.stats().steps > 0);
+        let first = trainer.losses()[0].1;
+        let last = trainer.losses().last().unwrap().1;
+        assert!(last <= first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn builder_complex_configuration() {
+        let mut b = Trainer::new(model());
+        b.learning_rate(5e-3)
+            .max_grad_norm(2.5)
+            .initial_loss_scale(128.0)
+            .buckets(6)
+            .precision(Precision::Bf16)
+            .discipline(Discipline::Sync)
+            .checkpoint_every(5);
+        let mut trainer = b.build();
+        let mut pile = SyntheticPile::new(43, 2);
+        trainer.run(11, || pile.next_batch(2, 12)).unwrap();
+        assert_eq!(trainer.checkpoints().len(), 2); // at steps 5 and 10
+        assert_eq!(trainer.checkpoints()[0].0, 5);
+    }
+
+    #[test]
+    fn stv_and_sync_disciplines_agree() {
+        let mut a = Trainer::new(model()).build();
+        let mut b_builder = Trainer::new(model());
+        b_builder.discipline(Discipline::Sync);
+        let mut b = b_builder.build();
+        let mut pile_a = SyntheticPile::new(43, 3);
+        let mut pile_b = SyntheticPile::new(43, 3);
+        a.run(10, || pile_a.next_batch(2, 12)).unwrap();
+        b.run(10, || pile_b.next_batch(2, 12)).unwrap();
+        assert_eq!(a.model().params(), b.model().params());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut full = Trainer::new(model()).build();
+        let mut pile = SyntheticPile::new(43, 4);
+        let batches: Vec<Vec<Sample>> = (0..12).map(|_| pile.next_batch(2, 12)).collect();
+        for b in &batches[..6] {
+            full.step(b).unwrap();
+        }
+        let snap = full.snapshot();
+        for b in &batches[6..] {
+            full.step(b).unwrap();
+        }
+
+        let mut resumed = Trainer::new(model()).build();
+        resumed.restore(&snap);
+        for b in &batches[6..] {
+            resumed.step(b).unwrap();
+        }
+        assert_eq!(full.model().params(), resumed.model().params());
+    }
+
+    #[test]
+    fn rollbacks_are_recorded() {
+        let mut b = Trainer::new(model());
+        b.initial_loss_scale(1e9);
+        let mut trainer = b.build();
+        let mut pile = SyntheticPile::new(43, 5);
+        trainer.run(8, || pile.next_batch(2, 12)).unwrap();
+        assert!(!trainer.rollback_steps().is_empty());
+        assert_eq!(
+            trainer.rollback_steps().len() as u64,
+            trainer.stats().rollbacks()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_checkpoint_interval_rejected() {
+        Trainer::new(model()).checkpoint_every(0);
+    }
+}

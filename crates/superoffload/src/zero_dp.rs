@@ -1,0 +1,435 @@
+//! Multi-Superchip SuperOffload: ZeRO-DP integration (§4.7).
+//!
+//! Model states are partitioned before offloading: each rank offloads only
+//! its own 1/N slice of gradients and optimizer state to its *local* Grace
+//! CPU (NUMA-bound), so total GPU↔CPU volume stays constant while CPU
+//! throughput scales with ranks. Weight placement is adaptive, like the
+//! single-chip policy:
+//!
+//! - **Replicated weights** when the FP16 parameters fit on every GPU ("the
+//!   partitioned weights, as well as the last few buckets from adaptive
+//!   offloading, remain on the GPUs"): no per-pass all-gathers; gradients
+//!   reduce-scatter per bucket overlapping backward, updated parameter
+//!   slices all-gather per bucket overlapping the rest of backward, and the
+//!   last buckets stay on the GPU entirely (all-reduced and stepped there).
+//! - **ZeRO-3 sharding** for models too large to replicate: weights
+//!   all-gather per pass, everything else as above.
+
+use llm_model::flops::TrainingFlops;
+use llm_model::memory::ModelStateMemory;
+use llm_model::workload::{ExecutionPlan, Workload};
+use superchip_sim::collective::CollectiveCost;
+use superchip_sim::prelude::*;
+
+use crate::bucket::BucketPlan;
+use crate::casting::CastPlacement;
+use crate::costs::{gpu_optimizer_time, pipeline_step_time, ComputeTimes};
+use crate::report::TrainReport;
+use crate::schedule::{finalize_report, SuperOffloadOptions, CPU_USABLE, GPU_USABLE};
+
+/// Simulates SuperOffload + ZeRO-DP across `ranks` Superchips of `cluster`.
+///
+/// `workload.global_batch` is the global batch; it is divided evenly across
+/// ranks (must divide). The report is per-GPU (as in Fig. 11).
+///
+/// # Panics
+/// Panics if `ranks` is zero, exceeds the cluster, or does not divide the
+/// global batch.
+pub fn simulate_cluster(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> TrainReport {
+    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
+    assert_eq!(
+        workload.global_batch % ranks,
+        0,
+        "global batch must divide across ranks"
+    );
+    let system = "superoffload";
+    let chip = &cluster.node.chip;
+    let params = workload.config.param_count();
+    let states = ModelStateMemory::for_params(params);
+    let shard_elems = params / ranks as u64;
+    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
+
+    // Per-rank workload.
+    let rank_batch = workload.global_batch / ranks;
+    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+
+    // --- Memory planning (per rank) --------------------------------------
+    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+
+    let cast = opts
+        .cast
+        .unwrap_or_else(|| CastPlacement::choose(chip, opts.bucket_bytes / 4));
+    let retained = if opts.use_repartition {
+        opts.retained_buckets.unwrap_or(2)
+    } else {
+        0
+    };
+    // Buckets partition the FULL parameter space (backward produces full
+    // gradients on every rank); each rank owns a 1/ranks slice of every
+    // bucket after the reduce-scatter.
+    let buckets = BucketPlan::new(params, opts.bucket_bytes, retained);
+    let slice = |elems: u64| (elems / ranks as u64).max(1);
+
+    // Weight placement: replicate when FP16 parameters fit every GPU,
+    // otherwise fall back to ZeRO-3 sharding with per-pass all-gathers.
+    let staging = 4 * opts.bucket_bytes;
+    let gather_window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
+    let min_act =
+        llm_model::memory::ActivationMemory::checkpointed(&workload.config, 1, workload.seq)
+            .bytes;
+    let replicated_resident =
+        states.fp16_params + staging + buckets.retained_gpu_bytes() + min_act;
+    let replicated = replicated_resident <= gpu_cap;
+    let gpu_resident = if replicated {
+        replicated_resident - min_act
+    } else {
+        states.fp16_params / ranks as u64
+            + gather_window
+            + staging
+            + buckets.retained_gpu_bytes() / ranks as u64
+    };
+    if gpu_resident > gpu_cap {
+        return TrainReport::oom(system);
+    }
+    // CPU: FP32 master + moments for this rank's slice of the CPU buckets.
+    let cpu_resident = 12 * (params - buckets.retained_elems()) / ranks as u64 + staging;
+    if cpu_resident > cpu_cap {
+        return TrainReport::oom(system);
+    }
+    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
+        return TrainReport::oom(system);
+    };
+
+    // --- Cost inputs (per rank) ------------------------------------------
+    let flops = TrainingFlops::for_iteration(
+        &workload.config,
+        rank_batch,
+        workload.seq,
+        plan.checkpointing,
+    );
+    let compute = ComputeTimes::new(&chip.gpu, &flops, plan.micro_steps());
+    let overhead = SimTime::from_secs(opts.op_overhead_secs);
+
+    // Sharded mode only: all-gather FP16 params for forward and backward.
+    let allgather = coll.all_gather(states.fp16_params / ranks as u64);
+
+    // --- Task graph (rank-0 perspective; ranks are symmetric) ------------
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource("gpu");
+    let cpu = sim.add_resource("cpu");
+    let d2h = sim.add_resource("c2c-d2h");
+    let h2d = sim.add_resource("c2c-h2d");
+    let net = sim.add_resource("fabric");
+
+    let b = buckets.num_buckets;
+    let micro = plan.micro_steps();
+
+    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
+        let mut gates = Vec::new();
+        let mut prev_gate: Option<TaskId> = None;
+        for _ in 0..opts.iterations {
+            let mut iter_end: Vec<TaskId> = Vec::new();
+            let mut last_task: Option<TaskId> = None;
+            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+
+            for m in 0..micro {
+                let mut deps: Vec<TaskId> = prev_gate.into_iter().collect();
+                if let Some(t) = last_task {
+                    deps.push(t);
+                }
+                let fwd_dep = if replicated {
+                    deps
+                } else {
+                    // Sharded mode: all-gather weights for the forward pass.
+                    vec![sim.add_task(
+                        TaskSpec::collective(net, allgather + overhead)
+                            .with_label("allgather-fwd")
+                            .after_all(deps),
+                    )?]
+                };
+                let fwd = sim.add_task(
+                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
+                        .with_label("fwd")
+                        .after_all(fwd_dep),
+                )?;
+                let bwd_start = if replicated {
+                    fwd
+                } else {
+                    // Sharded mode: gather again for backward.
+                    sim.add_task(
+                        TaskSpec::collective(net, allgather + overhead)
+                            .with_label("allgather-bwd")
+                            .after(fwd),
+                    )?
+                };
+
+                let mut prev_chunk = bwd_start;
+                for bi in 0..b {
+                    let elems = buckets.bucket_elems(bi);
+                    let frac = elems as f64 / params as f64;
+                    let chunk = sim.add_task(
+                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
+                            .with_label(format!("bwd[{bi}]"))
+                            .after(prev_chunk),
+                    )?;
+                    prev_chunk = chunk;
+
+                    // Reduce gradients across ranks: retained buckets are
+                    // all-reduced in replicated mode (every rank steps them
+                    // on the GPU); everything else reduce-scatters so each
+                    // rank ends with its 1/ranks slice.
+                    let rs = if replicated && buckets.is_retained(bi) && ranks > 1 {
+                        sim.add_task(
+                            TaskSpec::collective(net, coll.all_reduce(2 * elems) + overhead)
+                                .with_label(format!("allreduce[{bi}]"))
+                                .after(chunk),
+                        )?
+                    } else if ranks > 1 {
+                        sim.add_task(
+                            TaskSpec::collective(
+                                net,
+                                coll.reduce_scatter(2 * elems) + overhead,
+                            )
+                            .with_label(format!("reduce-scatter[{bi}]"))
+                            .after(chunk),
+                        )?
+                    } else {
+                        chunk
+                    };
+
+                    if m + 1 == micro {
+                        if buckets.is_retained(bi) {
+                            arrivals.push((bi, rs));
+                        } else {
+                            // Swap this rank's slice out to the local CPU.
+                            let xfer = sim.add_task(
+                                TaskSpec::transfer(
+                                    d2h,
+                                    cast.one_way_time(chip, slice(elems)) + overhead,
+                                )
+                                .with_label(format!("grad-out[{bi}]"))
+                                .after(rs),
+                            )?;
+                            arrivals.push((bi, xfer));
+                        }
+                    } else {
+                        iter_end.push(rs);
+                    }
+                }
+                last_task = Some(prev_chunk);
+            }
+
+            // Optimizer phase on shard (STV: per-bucket, no global sync).
+            let norm_sync = if opts.use_stv {
+                None
+            } else {
+                let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+                Some(sim.add_task(
+                    TaskSpec::compute(
+                        cpu,
+                        SimTime::from_secs((4 * shard_elems) as f64 / chip.cpu.mem_bandwidth)
+                            + overhead,
+                    )
+                    .with_label("global-norm-sync")
+                    .after_all(all),
+                )?)
+            };
+            for &(bi, arrival) in &arrivals {
+                let full = buckets.bucket_elems(bi);
+                let elems = slice(full);
+                if buckets.is_retained(bi) {
+                    // Retained buckets: every rank steps the full bucket on
+                    // its GPU (all-reduced gradients when replicated; the
+                    // reduce-scatter result otherwise).
+                    let step_elems = if replicated { full } else { elems };
+                    let mut spec = TaskSpec::compute(
+                        gpu,
+                        gpu_optimizer_time(&chip.gpu, step_elems) + overhead,
+                    )
+                    .with_label(format!("step-gpu[{bi}]"))
+                    .after(arrival);
+                    if let Some(ns) = norm_sync {
+                        spec = spec.after(ns);
+                    }
+                    iter_end.push(sim.add_task(spec)?);
+                } else {
+                    let mut spec = TaskSpec::compute(
+                        cpu,
+                        pipeline_step_time(opts.optimizer, &chip.cpu, elems)
+                            + cast.fused_optimizer_overhead(chip, elems)
+                            + overhead,
+                    )
+                    .with_label(format!("step-cpu[{bi}]"))
+                    .after(arrival);
+                    if let Some(ns) = norm_sync {
+                        spec = spec.after(ns);
+                    }
+                    let step = sim.add_task(spec)?;
+                    let ret = sim.add_task(
+                        TaskSpec::transfer(h2d, cast.one_way_time(chip, elems) + overhead)
+                            .with_label(format!("param-in[{bi}]"))
+                            .after(step),
+                    )?;
+                    if replicated && ranks > 1 {
+                        // All-gather the updated FP16 slices of this bucket
+                        // back to every rank, overlapping later buckets.
+                        let ag = sim.add_task(
+                            TaskSpec::collective(
+                                net,
+                                coll.all_gather(2 * full / ranks as u64) + overhead,
+                            )
+                            .with_label(format!("param-allgather[{bi}]"))
+                            .after(ret),
+                        )?;
+                        iter_end.push(ag);
+                    } else {
+                        iter_end.push(ret);
+                    }
+                }
+            }
+
+            let gate = sim.add_task(
+                TaskSpec::sync(gpu)
+                    .with_label("iter-gate")
+                    .after_all(iter_end),
+            )?;
+            prev_gate = Some(gate);
+            gates.push(gate);
+        }
+        Ok(gates)
+    };
+
+    let gates = match build(&mut sim) {
+        Ok(g) => g,
+        Err(_) => return TrainReport::oom(system),
+    };
+    let trace = match sim.run() {
+        Ok(t) => t,
+        Err(_) => return TrainReport::oom(system),
+    };
+    // Per-GPU effective FLOPs: this rank's share.
+    finalize_report(
+        system,
+        &trace,
+        &gates,
+        gpu,
+        cpu,
+        flops.effective(),
+        chip,
+        plan,
+    )
+}
+
+/// Largest Appendix-A model SuperOffload can train on `ranks` Superchips
+/// (used by Fig. 13). Scans the Appendix-A ladder from the top.
+pub fn max_trainable_model(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    batch: u32,
+    seq: u64,
+    opts: &SuperOffloadOptions,
+) -> Option<llm_model::ModelConfig> {
+    let mut best = None;
+    for cfg in llm_model::ModelConfig::appendix_a() {
+        let wl = Workload::new(cfg.clone(), batch, seq);
+        let report = if ranks == 1 {
+            crate::schedule::simulate_single_chip(&cluster.node.chip, &wl, opts)
+        } else {
+            simulate_cluster(cluster, ranks, &wl, opts)
+        };
+        if report.feasible()
+            && best
+                .as_ref()
+                .map(|b: &llm_model::ModelConfig| cfg.param_count() > b.param_count())
+                .unwrap_or(true)
+        {
+            best = Some(cfg);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_model::ModelConfig;
+    use superchip_sim::presets;
+
+    fn cluster(nodes: u32) -> ClusterSpec {
+        presets::gh200_nvl2_cluster(nodes)
+    }
+
+    fn wl(name: &str, batch: u32) -> Workload {
+        Workload::new(ModelConfig::by_name(name).unwrap(), batch, 2048)
+    }
+
+    #[test]
+    fn four_rank_10b_feasible() {
+        let r = simulate_cluster(
+            &cluster(2),
+            4,
+            &wl("10B", 16),
+            &SuperOffloadOptions::default(),
+        );
+        assert!(r.feasible());
+        assert!(r.tflops > 50.0, "tflops {}", r.tflops);
+    }
+
+    #[test]
+    fn fifty_b_fits_on_four_ranks() {
+        // §1: "SuperOffload enables LLM training with 50B parameters using
+        // only four Superchips".
+        let r = simulate_cluster(
+            &cluster(2),
+            4,
+            &wl("50B", 16),
+            &SuperOffloadOptions::default(),
+        );
+        assert!(r.feasible(), "50B should fit on 4 Superchips");
+    }
+
+    #[test]
+    fn two_hundred_b_fits_on_sixteen_ranks() {
+        // §5.2: "efficiently training 200B models on 16 GPUs".
+        let r = simulate_cluster(
+            &cluster(8),
+            16,
+            &wl("200B", 128),
+            &SuperOffloadOptions::default(),
+        );
+        assert!(r.feasible(), "200B should fit on 16 Superchips");
+    }
+
+    #[test]
+    fn more_ranks_enable_bigger_models() {
+        let opts = SuperOffloadOptions::default();
+        let m4 = max_trainable_model(&cluster(2), 4, 16, 2048, &opts).unwrap();
+        let m16 = max_trainable_model(&cluster(8), 16, 128, 2048, &opts).unwrap();
+        assert!(m16.param_count() >= m4.param_count());
+        assert!(m4.param_count() >= ModelConfig::by_name("50B").unwrap().param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide across ranks")]
+    fn batch_must_divide() {
+        let _ = simulate_cluster(
+            &cluster(2),
+            4,
+            &wl("10B", 7),
+            &SuperOffloadOptions::default(),
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_cluster(&cluster(2), 4, &wl("10B", 16), &SuperOffloadOptions::default());
+        let b = simulate_cluster(&cluster(2), 4, &wl("10B", 16), &SuperOffloadOptions::default());
+        assert_eq!(a, b);
+    }
+}

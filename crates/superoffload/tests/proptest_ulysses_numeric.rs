@@ -1,0 +1,90 @@
+//! Property-based tests of the Ulysses all-to-all attention relayout.
+
+use proptest::prelude::*;
+use superoffload::ulysses_numeric::{
+    all_to_all_to_heads, all_to_all_to_sequence, dense_attention, shard_sequence,
+    ulysses_attention,
+};
+use tensorlite::{Tensor, XorShiftRng};
+
+fn qkv(seq: usize, width: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = XorShiftRng::new(seed);
+    (
+        Tensor::randn(&[seq, width], 1.0, &mut rng),
+        Tensor::randn(&[seq, width], 1.0, &mut rng),
+        Tensor::randn(&[seq, width], 1.0, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property over random shapes: distributed == dense,
+    /// bit for bit.
+    #[test]
+    fn ulysses_exactness_over_random_shapes(
+        ranks_pow in 0u32..3,
+        heads_mult in 1usize..3,
+        seq_mult in 1usize..4,
+        head_dim_pow in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let heads = ranks * heads_mult;
+        let head_dim = 1usize << head_dim_pow;
+        let width = heads * head_dim;
+        let seq = ranks * seq_mult * 2;
+        let (q, k, v) = qkv(seq, width, seed);
+        let dense = dense_attention(&q, &k, &v, heads).unwrap();
+        let distributed = ulysses_attention(&q, &k, &v, heads, ranks).unwrap();
+        prop_assert_eq!(dense.data(), distributed.data());
+    }
+
+    /// The two all-to-alls are inverse permutations for any divisible shape.
+    #[test]
+    fn all_to_alls_invert(
+        ranks_pow in 0u32..3,
+        seq_mult in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let heads = ranks * 2;
+        let width = heads * 4;
+        let seq = ranks * seq_mult;
+        let (q, k, v) = qkv(seq, width, seed);
+        let shards = shard_sequence(&q, &k, &v, ranks).unwrap();
+        let by_heads = all_to_all_to_heads(&shards, heads).unwrap();
+        for (orig, get) in [(q.data(), 0usize), (k.data(), 1), (v.data(), 2)] {
+            let tensors: Vec<Tensor> = by_heads
+                .iter()
+                .map(|s| match get {
+                    0 => s.q.clone(),
+                    1 => s.k.clone(),
+                    _ => s.v.clone(),
+                })
+                .collect();
+            let back = all_to_all_to_sequence(&tensors, heads).unwrap();
+            let mut flat = Vec::new();
+            for t in &back {
+                flat.extend_from_slice(t.data());
+            }
+            prop_assert_eq!(flat.as_slice(), orig);
+        }
+    }
+
+    /// Sharding preserves every element exactly once.
+    #[test]
+    fn shards_partition_tokens(ranks_pow in 0u32..3, seq_mult in 1usize..5, seed in 0u64..500) {
+        let ranks = 1usize << ranks_pow;
+        let seq = ranks * seq_mult;
+        let (q, k, v) = qkv(seq, 8, seed);
+        let shards = shard_sequence(&q, &k, &v, ranks).unwrap();
+        let total: usize = shards.iter().map(|s| s.q.len()).sum();
+        prop_assert_eq!(total, q.len());
+        let mut flat = Vec::new();
+        for s in &shards {
+            flat.extend_from_slice(s.q.data());
+        }
+        prop_assert_eq!(flat.as_slice(), q.data());
+    }
+}

@@ -1,0 +1,140 @@
+//! Bulk precision casting and non-finite detection.
+//!
+//! These are the numeric-plane counterparts of the cast operators the paper
+//! places on either side of the C2C link (§4.5 Superchip-Aware Casting), and
+//! of the NaN/Inf scan performed by the validation pass (§4.4).
+
+use crate::f16::{Bf16, F16};
+
+/// Casts an `f32` slice to `f16`, element-wise, round-to-nearest-even.
+pub fn f32_to_f16_slice(src: &[f32]) -> Vec<F16> {
+    src.iter().map(|&x| F16::from_f32(x)).collect()
+}
+
+/// Casts an `f16` slice back to `f32`, exactly.
+pub fn f16_to_f32_slice(src: &[F16]) -> Vec<f32> {
+    src.iter().map(|&h| h.to_f32()).collect()
+}
+
+/// Casts `f32` into a caller-provided `f16` buffer (no allocation).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn f32_to_f16_into(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "cast buffers must match in length");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(s);
+    }
+}
+
+/// Casts `f16` into a caller-provided `f32` buffer (no allocation).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn f16_to_f32_into(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "cast buffers must match in length");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// Casts an `f32` slice to `bf16`, element-wise, round-to-nearest-even.
+pub fn f32_to_bf16_slice(src: &[f32]) -> Vec<Bf16> {
+    src.iter().map(|&x| Bf16::from_f32(x)).collect()
+}
+
+/// Casts a `bf16` slice back to `f32`, exactly.
+pub fn bf16_to_f32_slice(src: &[Bf16]) -> Vec<f32> {
+    src.iter().map(|&h| h.to_f32()).collect()
+}
+
+/// Returns `true` if any element is NaN or ±∞ — the global check mixed
+/// precision training performs before an optimizer step.
+pub fn has_nonfinite(values: &[f32]) -> bool {
+    values.iter().any(|v| !v.is_finite())
+}
+
+/// Returns `true` if any `f16` element is NaN or ±∞.
+pub fn has_nonfinite_f16(values: &[F16]) -> bool {
+    values.iter().any(|v| !v.is_finite())
+}
+
+/// Sum of squares of a slice (partial gradient-norm accumulation), in `f64`
+/// to avoid cancellation across large models.
+pub fn sum_of_squares(values: &[f32]) -> f64 {
+    values.iter().map(|&v| (v as f64) * (v as f64)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_roundtrip_is_lossless_for_representable() {
+        let src: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let half = f32_to_f16_slice(&src);
+        let back = f16_to_f32_slice(&half);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn in_place_casts_match_allocating_casts() {
+        let src: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        let mut dst = vec![F16::ZERO; 64];
+        f32_to_f16_into(&src, &mut dst);
+        assert_eq!(dst, f32_to_f16_slice(&src));
+        let mut back = vec![0.0f32; 64];
+        f16_to_f32_into(&dst, &mut back);
+        assert_eq!(back, f16_to_f32_slice(&dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match in length")]
+    fn mismatched_cast_buffers_panic() {
+        let src = [1.0f32; 4];
+        let mut dst = vec![F16::ZERO; 3];
+        f32_to_f16_into(&src, &mut dst);
+    }
+
+    #[test]
+    fn nonfinite_detection() {
+        assert!(!has_nonfinite(&[1.0, -2.0, 0.0]));
+        assert!(has_nonfinite(&[1.0, f32::NAN]));
+        assert!(has_nonfinite(&[f32::INFINITY]));
+        assert!(has_nonfinite(&[f32::NEG_INFINITY, 3.0]));
+        assert!(!has_nonfinite(&[]));
+    }
+
+    #[test]
+    fn f16_overflow_is_detected_after_cast() {
+        // A gradient blow-up beyond f16 range must surface as non-finite
+        // after the cast — this is what triggers an STV rollback.
+        let grads = [70000.0f32, 1.0];
+        let half = f32_to_f16_slice(&grads);
+        assert!(has_nonfinite_f16(&half));
+        assert!(!has_nonfinite(&grads));
+    }
+
+    #[test]
+    fn bf16_slice_roundtrip_preserves_range() {
+        // bf16 keeps f32 range: values that overflow f16 survive bf16.
+        let src = vec![1.0f32, 70000.0, 3.0e38, -1.5e-30];
+        let back = bf16_to_f32_slice(&f32_to_bf16_slice(&src));
+        assert!(back.iter().all(|v| v.is_finite()));
+        assert_eq!(back[0], 1.0);
+        // Relative error bounded by bf16's 8-bit significand (~0.4%).
+        for (a, b) in src.iter().zip(&back) {
+            assert!(((a - b) / a).abs() < 0.005, "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn sum_of_squares_accumulates_in_f64() {
+        let v = vec![3.0f32, 4.0];
+        assert_eq!(sum_of_squares(&v), 25.0);
+        // Large vector of small values: f64 accumulation keeps precision.
+        let v = vec![1e-4f32; 1_000_000];
+        let s = sum_of_squares(&v);
+        assert!((s - 1e-2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic random number generation for initialization and data.
+//!
+//! A small xorshift generator keeps the numeric plane reproducible without
+//! threading `rand` generics through every API. `rand` is still used where a
+//! distribution-rich generator is convenient (dataset synthesis).
+
+/// A deterministic xorshift64* generator.
+///
+/// ```
+/// use tensorlite::XorShiftRng;
+/// let mut a = XorShiftRng::new(7);
+/// let mut b = XorShiftRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed (zero is mapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShiftRng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high bits -> uniform in [0, 1).
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1 = self.next_f32().max(f32::MIN_POSITIVE);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_scaled(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range must be non-empty");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = XorShiftRng::new(42);
+        let mut b = XorShiftRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = XorShiftRng::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut r = XorShiftRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn next_usize_bounds() {
+        let mut r = XorShiftRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.next_usize(7) < 7);
+        }
+    }
+}

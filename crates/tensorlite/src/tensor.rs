@@ -1,0 +1,486 @@
+//! Dense row-major `f32` tensors.
+
+use crate::error::TensorError;
+use crate::rng::XorShiftRng;
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// Rank-2 tensors carry the matrix kernels the transformer needs; higher
+/// ranks are supported for storage and element-wise math.
+///
+/// ```
+/// use tensorlite::Tensor;
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(x.shape(), &[2, 3]);
+/// assert_eq!(x.get2(1, 2)?, 6.0);
+/// # Ok::<(), tensorlite::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat vector and shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` differs from
+    /// the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Tensor of i.i.d. normal samples with the given std deviation.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut XorShiftRng) -> Self {
+        let data = (0..shape.iter().product())
+            .map(|_| rng.normal_scaled(0.0, std))
+            .collect();
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Flat read-only view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Rank-2 element read.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] for non-matrices and
+    /// [`TensorError::IndexOutOfBounds`] for bad indices.
+    pub fn get2(&self, row: usize, col: usize) -> Result<f32, TensorError> {
+        self.check_rank2("get2")?;
+        let (r, c) = (self.shape[0], self.shape[1]);
+        if row >= r {
+            return Err(TensorError::IndexOutOfBounds { index: row, len: r });
+        }
+        if col >= c {
+            return Err(TensorError::IndexOutOfBounds { index: col, len: c });
+        }
+        Ok(self.data[row * c + col])
+    }
+
+    /// Rank-2 element write.
+    ///
+    /// # Errors
+    /// Same conditions as [`Tensor::get2`].
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) -> Result<(), TensorError> {
+        self.check_rank2("set2")?;
+        let (r, c) = (self.shape[0], self.shape[1]);
+        if row >= r {
+            return Err(TensorError::IndexOutOfBounds { index: row, len: r });
+        }
+        if col >= c {
+            return Err(TensorError::IndexOutOfBounds { index: col, len: c });
+        }
+        self.data[row * c + col] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the element count differs.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    fn check_rank2(&self, op: &'static str) -> Result<(), TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::BadRank {
+                expected: 2,
+                actual: self.rank(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "add")?;
+        Ok(self.zip_map(other, |a, b| a + b))
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "sub")?;
+        Ok(self.zip_map(other, |a, b| a - b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "mul")?;
+        Ok(self.zip_map(other, |a, b| a * b))
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Tensor scaled by a constant.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Applies `f` element-wise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ (callers validate first).
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Matrix product of two rank-2 tensors (blocked inner loop).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] for non-matrices or
+    /// [`TensorError::IncompatibleShapes`] if inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_rank2("matmul")?;
+        other.check_rank2("matmul")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "matmul",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: streams `other` rows, auto-vectorizes the j loop.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        self.check_rank2("transpose")?;
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// A read-only view of row `i` of a rank-2 tensor.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] / [`TensorError::IndexOutOfBounds`].
+    pub fn row(&self, i: usize) -> Result<&[f32], TensorError> {
+        self.check_rank2("row")?;
+        let (m, n) = (self.shape[0], self.shape[1]);
+        if i >= m {
+            return Err(TensorError::IndexOutOfBounds { index: i, len: m });
+        }
+        Ok(&self.data[i * n..(i + 1) * n])
+    }
+
+    /// Sum of all elements (f64 accumulation).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.len() as f64
+    }
+
+    /// L2 norm of all elements (f64 accumulation).
+    pub fn l2_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum element (NaN-propagating); `None` when empty.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Returns whether every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zeros_ones_full_eye() {
+        assert_eq!(Tensor::zeros(&[3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Tensor::ones(&[2]).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full(&[2], 7.0).data(), &[7.0, 7.0]);
+        let e = Tensor::eye(2);
+        assert_eq!(e.data(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_correctness() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = XorShiftRng::new(1);
+        let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::IncompatibleShapes { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::BadRank { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = XorShiftRng::new(2);
+        let a = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[5, 3]);
+        assert_eq!(t.transpose().unwrap(), a);
+        assert_eq!(a.get2(1, 4).unwrap(), t.get2(4, 1).unwrap());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.axpy(10.0, &b).unwrap();
+        assert_eq!(c.data(), &[31.0, 52.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        assert!(a.mul(&b).is_err());
+        let mut c = a.clone();
+        assert!(c.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.l2_norm(), 5.0);
+        assert_eq!(a.max(), Some(4.0));
+        assert!(Tensor::zeros(&[0]).max().is_none());
+        assert_eq!(Tensor::zeros(&[0]).mean(), 0.0);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut a = Tensor::zeros(&[3]);
+        assert!(a.all_finite());
+        a.data_mut()[1] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn get_set_and_bounds() {
+        let mut a = Tensor::zeros(&[2, 2]);
+        a.set2(0, 1, 9.0).unwrap();
+        assert_eq!(a.get2(0, 1).unwrap(), 9.0);
+        assert!(a.get2(2, 0).is_err());
+        assert!(a.set2(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = a.reshape(&[4]).unwrap();
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn row_view() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.row(1).unwrap(), &[3.0, 4.0]);
+        assert!(a.row(2).is_err());
+    }
+
+    #[test]
+    fn randn_std_controls_spread() {
+        let mut rng = XorShiftRng::new(11);
+        let t = Tensor::randn(&[10_000], 0.02, &mut rng);
+        let std = (t.data().iter().map(|x| (x * x) as f64).sum::<f64>() / t.len() as f64).sqrt();
+        assert!((std - 0.02).abs() < 0.002, "std was {std}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of tensor kernels and half-precision conversion.
+
+use proptest::prelude::*;
+use tensorlite::{f16_to_f32_slice, f32_to_f16_slice, ops, F16, Tensor};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).unwrap())
+}
+
+proptest! {
+    /// f32 -> f16 -> f32 error is bounded by half-precision epsilon.
+    #[test]
+    fn f16_roundtrip_error_bounded(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x);
+        let back = h.to_f32();
+        // Relative error bound for normals; absolute for near-zero.
+        let bound = (x.abs() * 1e-3).max(6e-8);
+        prop_assert!((back - x).abs() <= bound, "x={x}, back={back}");
+    }
+
+    /// f16 conversion is monotone: a <= b implies f16(a) <= f16(b).
+    #[test]
+    fn f16_conversion_monotone(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Slice casts agree with scalar casts.
+    #[test]
+    fn slice_cast_matches_scalar(v in prop::collection::vec(-1e4f32..1e4, 0..64)) {
+        let halves = f32_to_f16_slice(&v);
+        for (x, h) in v.iter().zip(&halves) {
+            prop_assert_eq!(h.to_bits(), F16::from_f32(*x).to_bits());
+        }
+        let back = f16_to_f32_slice(&halves);
+        for (h, b) in halves.iter().zip(&back) {
+            prop_assert_eq!(h.to_f32().to_bits(), b.to_bits());
+        }
+    }
+
+    /// (A B) C == A (B C) within floating tolerance.
+    #[test]
+    fn matmul_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-2, "{l} vs {r}");
+        }
+    }
+
+    /// (A B)^T == B^T A^T.
+    #[test]
+    fn transpose_reverses_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Matmul distributes over addition.
+    #[test]
+    fn matmul_distributive(a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and lie in [0, 1].
+    #[test]
+    fn softmax_is_distribution(x in arb_matrix(3, 6)) {
+        let y = ops::softmax_rows(&x).unwrap();
+        for i in 0..3 {
+            let row = y.row(i).unwrap();
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient sums to ~0 per row
+    /// (softmax minus one-hot has zero mass).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(
+        x in arb_matrix(4, 5),
+        targets in prop::collection::vec(0usize..5, 4),
+    ) {
+        let (loss, grad) = ops::cross_entropy(&x, &targets).unwrap();
+        prop_assert!(loss >= 0.0);
+        for i in 0..4 {
+            let s: f32 = grad.row(i).unwrap().iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    /// LayerNorm output is exactly invariant to a per-row shift of the input.
+    #[test]
+    fn layer_norm_shift_invariant(x in arb_matrix(2, 8), shift in -5.0f32..5.0) {
+        let gamma = vec![1.0f32; 8];
+        let beta = vec![0.0f32; 8];
+        let (y1, _, _) = ops::layer_norm(&x, &gamma, &beta, 1e-5).unwrap();
+        let (y2, _, _) = ops::layer_norm(&x.map(|v| v + shift), &gamma, &beta, 1e-5).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// GELU is bounded below by a small negative constant and above by x.
+    #[test]
+    fn gelu_bounds(x in -50.0f32..50.0) {
+        let g = ops::gelu_scalar(x);
+        prop_assert!(g >= -0.2);
+        prop_assert!(g <= x.max(0.0) + 1e-5);
+    }
+
+    /// axpy matches scale-then-add.
+    #[test]
+    fn axpy_matches_scale_add(a in arb_matrix(2, 3), b in arb_matrix(2, 3), alpha in -3.0f32..3.0) {
+        let mut c = a.clone();
+        c.axpy(alpha, &b).unwrap();
+        let expected = a.add(&b.scale(alpha)).unwrap();
+        for (l, r) in c.data().iter().zip(expected.data()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+}

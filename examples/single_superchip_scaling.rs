@@ -1,0 +1,49 @@
+//! Scaling a single GH200 Superchip across model sizes: which systems fit
+//! which models, and at what throughput (the paper's Fig. 10 + Fig. 13
+//! single-chip story).
+//!
+//! Run with: `cargo run --release --example single_superchip_scaling`
+
+use baselines::{common::single_chip_cluster, ddp, fsdp_offload, zero_infinity, zero_offload};
+use llm_model::{ModelConfig, Workload};
+use superchip_sim::presets;
+use superoffload::report::TrainReport;
+use superoffload::schedule::{simulate_single_chip, SuperOffloadOptions};
+
+fn cell(r: &TrainReport) -> String {
+    if r.feasible() {
+        format!("{:>7.1}", r.tflops)
+    } else {
+        format!("{:>7}", "OOM")
+    }
+}
+
+fn main() {
+    let chip = presets::gh200_chip();
+    let cluster = single_chip_cluster(&chip);
+    let batch = 8;
+
+    println!("single GH200 Superchip, batch {batch}, seq 2048 (TFLOPS; OOM = does not fit)\n");
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "model", "ddp", "fsdp", "z-inf", "z-off", "super"
+    );
+    for name in ["1B", "3B", "5B", "8B", "13B", "15B", "20B", "25B"] {
+        let cfg = ModelConfig::by_name(name).expect("appendix-a model");
+        let w = Workload::new(cfg, batch, 2048);
+        println!(
+            "{name:>5} {} {} {} {} {}",
+            cell(&ddp::simulate(&cluster, 1, &w)),
+            cell(&fsdp_offload::simulate(&cluster, 1, &w)),
+            cell(&zero_infinity::simulate(&cluster, 1, &w)),
+            cell(&zero_offload::simulate(&cluster, 1, &w)),
+            cell(&simulate_single_chip(&chip, &w, &SuperOffloadOptions::default())),
+        );
+    }
+
+    println!("\ntakeaways (matching the paper):");
+    println!(" - GPU-only DDP is capped by state replication (~3.5-4B on 96 GB)");
+    println!(" - ZeRO-Offload extends to ~13-15B but idles the GPU 40%+");
+    println!(" - ZeRO-Infinity / FSDP-Offload fit large models but run slowly");
+    println!(" - SuperOffload reaches 25B while outperforming everything");
+}

@@ -1,0 +1,72 @@
+//! Train-and-generate: the Fig. 1-style `Trainer` API end to end — train a
+//! real miniature GPT on the synthetic stream until it learns the
+//! next-token rule, checkpoint along the way, then generate text that
+//! follows the rule.
+//!
+//! Run with: `cargo run --release --example train_and_generate`
+
+use llm_model::transformer::{GptConfig, GptModel};
+use llm_model::SyntheticPile;
+use superoffload::trainer::Trainer;
+
+fn main() {
+    let vocab = 32usize;
+    let model = GptModel::new(
+        GptConfig {
+            vocab,
+            hidden: 32,
+            layers: 2,
+            heads: 2,
+            max_seq: 16,
+        },
+        99,
+    );
+
+    // Fully deterministic stream: next = (3 * prev + 7) mod vocab.
+    let mut pile = SyntheticPile::new(vocab, 99).with_signal(1.0);
+
+    let mut builder = Trainer::new(model);
+    builder
+        .learning_rate(8e-3)
+        .max_grad_norm(5.0)
+        .checkpoint_every(100);
+    let mut trainer = builder.build();
+
+    println!("training on the deterministic rule t -> (3t + 7) mod {vocab}\n");
+    for chunk in 0..6 {
+        trainer.run(50, || pile.next_batch(4, 12)).expect("training step");
+        let (step, loss) = *trainer.losses().last().expect("non-empty history");
+        println!("step {step:>4}  loss {loss:.4}");
+        let _ = chunk;
+    }
+    println!(
+        "\ncheckpoints captured: {} (every 100 steps, bit-exact resume points)",
+        trainer.checkpoints().len()
+    );
+
+    // Generate: start from a token and let the model continue the orbit.
+    let t0 = 5usize;
+    let t1 = (3 * t0 + 7) % vocab;
+    let generated = trainer
+        .model()
+        .generate(&[t0, t1], 10)
+        .expect("generation");
+    println!("\nprompt [{t0}, {t1}] ->");
+    print!("generated: ");
+    let mut correct = 0;
+    for (i, w) in generated.windows(2).enumerate() {
+        let expected = (3 * w[0] + 7) % vocab;
+        let mark = if w[1] == expected { "" } else { "*" };
+        if w[1] == expected {
+            correct += 1;
+        }
+        if i == 0 {
+            print!("{}", w[0]);
+        }
+        print!(" -> {}{mark}", w[1]);
+    }
+    println!(
+        "\nrule-following transitions: {correct}/{} (* marks a miss)",
+        generated.len() - 1
+    );
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the SuperOffload reproduction workspace.
+//!
+//! Re-exports every member crate so the examples and cross-crate
+//! integration tests have a single import root. See the individual crates
+//! for the substance:
+//!
+//! - [`superchip_sim`] — discrete-event Superchip simulator (performance plane)
+//! - [`tensorlite`] — numeric tensor substrate (numeric plane)
+//! - [`llm_model`] — model configs, accounting, real miniature GPT
+//! - [`grace_optim`] — real Adam implementations, mixed precision, rollback
+//! - [`superoffload`] — the paper's contribution
+//! - [`baselines`] — the seven comparison systems
+
+pub use baselines;
+pub use grace_optim;
+pub use llm_model;
+pub use superchip_sim;
+pub use superoffload;
+pub use tensorlite;
