@@ -6,49 +6,75 @@
 //! trainable model is whatever fits 16Ψ + activations on one GPU (Fig. 13).
 
 use llm_model::flops::TrainingFlops;
-use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
+use llm_model::memory::ModelStateMemory;
 use superoffload::bucket::BucketPlan;
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
 /// DDP's default all-reduce bucket: 25 MB.
 pub const DDP_BUCKET_BYTES: u64 = 25 * 1000 * 1000;
 
+/// PyTorch DistributedDataParallel as an [`OffloadSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ddp;
+
+impl OffloadSystem for Ddp {
+    fn name(&self) -> &str {
+        "pytorch-ddp"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
+
 /// Simulates PyTorch DDP on `ranks` GPUs of `cluster`.
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
+    collapse(simulate_traced(cluster, ranks, workload), "pytorch-ddp")
+}
+
+/// Like [`simulate`], additionally returning the execution trace, or the
+/// structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
-    assert_eq!(workload.global_batch % ranks, 0, "batch must divide ranks");
     let system = "pytorch-ddp";
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
     // PyTorch AMP keeps FP32 parameters and FP32 gradients (autocast only
     // casts compute), so replicated residency is 4Ψ + 4Ψ + 8Ψ Adam + 2Ψ
     // FP16 autocast copies + 2Ψ flat all-reduce buffer = 20Ψ — which is
     // what caps DDP near 3.5–4B on 96 GB (Fig. 13).
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let params_bytes = states.fp32_params; // 4Ψ
-    let gpu_resident =
-        params_bytes + params_bytes + states.optimizer_states() - states.fp32_params
-        + states.fp16_params + states.fp16_grads + 2 * DDP_BUCKET_BYTES;
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    let gpu_resident = params_bytes + params_bytes + states.optimizer_states() - states.fp32_params
+        + states.fp16_params
+        + states.fp16_grads
+        + 2 * DDP_BUCKET_BYTES;
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -60,73 +86,53 @@ pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> Train
     let overhead = SimTime::from_secs(OP_OVERHEAD_TUNED);
     let buckets = BucketPlan::new(params, DDP_BUCKET_BYTES, 0);
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let net = sim.add_resource("fabric");
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            let mut last: Option<TaskId> = None;
-            for m in 0..plan.micro_steps() {
-                let mut deps: Vec<TaskId> = prev_gate.into_iter().collect();
-                if let Some(t) = last {
-                    deps.push(t);
-                }
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(deps),
-                )?;
-                // Backward chunked by all-reduce bucket; the all-reduce of
-                // bucket i overlaps the backward of bucket i+1 (DDP's
-                // gradient hook design) — only on the last micro-step.
-                let mut prev_chunk = fwd;
-                for bi in 0..buckets.num_buckets {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        let mut last: Option<TaskId> = None;
+        for m in 0..plan.micro_steps() {
+            let mut deps: Vec<TaskId> = iters.start_deps();
+            if let Some(t) = last {
+                deps.push(t);
+            }
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, deps)?;
+            // Backward chunked by all-reduce bucket; the all-reduce of
+            // bucket i overlaps the backward of bucket i+1 (DDP's
+            // gradient hook design) — only on the last micro-step.
+            let prev_chunk = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                fwd,
+                None,
+                |ctx, bi, elems, chunk| {
                     if ranks > 1 && m + 1 == plan.micro_steps() {
-                        let ar = sim.add_task(
-                            TaskSpec::collective(net, coll.all_reduce(2 * elems) + overhead)
-                                .with_label(format!("allreduce[{bi}]"))
-                                .after(chunk),
+                        let ar = ctx.all_reduce(
+                            &coll,
+                            2 * elems,
+                            overhead,
+                            format!("allreduce[{bi}]"),
+                            chunk,
                         )?;
                         iter_end.push(ar);
                     }
-                }
-                last = Some(prev_chunk);
-            }
-            // GPU optimizer over the full replicated state.
-            let step = sim.add_task(
-                TaskSpec::compute(gpu, gpu_optimizer_time(&chip.gpu, params) + overhead)
-                    .with_label("step-gpu")
-                    .after_all(iter_end.iter().copied().chain(last)),
+                    Ok(())
+                },
             )?;
-            let gate = sim.add_task(TaskSpec::sync(gpu).with_label("iter-gate").after(step))?;
-            prev_gate = Some(gate);
-            gates.push(gate);
+            last = Some(prev_chunk);
         }
-        Ok(gates)
-    };
+        // GPU optimizer over the full replicated state.
+        let step = ctx.sim.add_task(
+            TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, params) + overhead)
+                .with_label("step-gpu")
+                .after_all(iter_end.iter().copied().chain(last)),
+        )?;
+        iters.close(&mut ctx, [step])?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
@@ -21,7 +21,9 @@ use superoffload::costs::{
     gpu_optimizer_time, pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK,
 };
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
@@ -44,38 +46,59 @@ pub fn gpu_share(chip: &ChipSpec) -> f64 {
     cpu / (cpu + gpu)
 }
 
+/// Deep-Optimizer-States as an [`OffloadSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepOptimizerStates;
+
+impl OffloadSystem for DeepOptimizerStates {
+    fn name(&self) -> &str {
+        "deep-optimizer-states"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
+
 /// Simulates Deep-Optimizer-States on `ranks` GPUs.
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
+    collapse(
+        simulate_traced(cluster, ranks, workload),
+        "deep-optimizer-states",
+    )
+}
+
+/// Like [`simulate`], additionally returning the execution trace, or the
+/// structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "deep-optimizer-states";
-    if !workload.global_batch.is_multiple_of(ranks) {
-        return TrainReport::oom(system);
-    }
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
     // Same GPU replication as ZeRO-Offload, plus a staging window for the
     // optimizer states of the buckets being stepped on the GPU.
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let staging = 4 * BUCKET_BYTES * OPT_STATE_BYTES / 4;
-    let gpu_resident =
-        states.fp16_params + states.fp16_grads + states.fp16_grads / n + staging;
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    let gpu_resident = states.fp16_params + states.fp16_grads + states.fp16_grads / n + staging;
+    cap.fit_gpu(gpu_resident)?;
     let cpu_resident = states.optimizer_states() / n + 2 * BUCKET_BYTES;
-    if cpu_resident > cpu_cap {
-        return TrainReport::oom(system);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    cap.fit_cpu(cpu_resident)?;
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -90,39 +113,25 @@ pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> Train
     let shard = |elems: u64| (elems / n).max(1);
     let share = gpu_share(chip);
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let d2h = sim.add_resource("c2c-d2h");
-    let h2d = sim.add_resource("c2c-h2d");
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut last: Option<TaskId> = None;
-            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
-            for m in 0..plan.micro_steps() {
-                let deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(deps),
-                )?;
-                let mut prev_chunk = fwd;
-                for bi in 0..buckets.num_buckets {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut last: Option<TaskId> = None;
+        let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+        for m in 0..plan.micro_steps() {
+            let deps: Vec<TaskId> = iters.start_deps().into_iter().chain(last).collect();
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, deps)?;
+            let prev_chunk = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                fwd,
+                None,
+                |ctx, bi, elems, chunk| {
                     if m + 1 == plan.micro_steps() {
-                        let xfer = sim.add_task(
+                        let xfer = ctx.sim.add_task(
                             TaskSpec::transfer(
-                                d2h,
+                                ctx.d2h,
                                 cast.one_way_time(chip, shard(elems)) + overhead,
                             )
                             .with_label(format!("grad-out[{bi}]"))
@@ -130,91 +139,78 @@ pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> Train
                         )?;
                         arrivals.push((bi, xfer));
                     }
-                }
-                last = Some(prev_chunk);
-            }
-
-            // STE global sync, as in ZeRO-Offload.
-            let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
-            let norm_sync = sim.add_task(
-                TaskSpec::compute(
-                    cpu,
-                    SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth)
-                        + overhead,
-                )
-                .with_label("global-norm-sync")
-                .after_all(all),
+                    Ok(())
+                },
             )?;
-
-            // Interleaved optimizer: per bucket, the GPU takes `share` of the
-            // elements (fetch states -> step -> write back) while the CPU
-            // steps the rest.
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            for &(bi, _) in &arrivals {
-                let elems = shard(buckets.bucket_elems(bi));
-                let gpu_elems = (elems as f64 * share) as u64;
-                let cpu_elems = elems - gpu_elems;
-
-                if gpu_elems > 0 {
-                    let fetch = sim.add_task(
-                        TaskSpec::transfer(
-                            h2d,
-                            chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
-                        )
-                        .with_label(format!("opt-fetch[{bi}]"))
-                        .after(norm_sync),
-                    )?;
-                    let step = sim.add_task(
-                        TaskSpec::compute(gpu, gpu_optimizer_time(&chip.gpu, gpu_elems) + overhead)
-                            .with_label(format!("step-gpu[{bi}]"))
-                            .after(fetch),
-                    )?;
-                    let writeback = sim.add_task(
-                        TaskSpec::transfer(
-                            d2h,
-                            chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
-                        )
-                        .with_label(format!("opt-writeback[{bi}]"))
-                        .after(step),
-                    )?;
-                    iter_end.push(writeback);
-                }
-                if cpu_elems > 0 {
-                    let step = sim.add_task(
-                        TaskSpec::compute(
-                            cpu,
-                            pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, cpu_elems)
-                                + overhead,
-                        )
-                        .with_label(format!("step-cpu[{bi}]"))
-                        .after(norm_sync),
-                    )?;
-                    let ret = sim.add_task(
-                        TaskSpec::transfer(h2d, cast.one_way_time(chip, cpu_elems) + overhead)
-                            .with_label(format!("param-in[{bi}]"))
-                            .after(step),
-                    )?;
-                    iter_end.push(ret);
-                }
-            }
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu).with_label("iter-gate").after_all(iter_end),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
+            last = Some(prev_chunk);
         }
-        Ok(gates)
-    };
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+        // STE global sync, as in ZeRO-Offload.
+        let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+        let norm_sync = ctx.sim.add_task(
+            TaskSpec::compute(
+                ctx.cpu,
+                SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth) + overhead,
+            )
+            .with_label("global-norm-sync")
+            .after_all(all),
+        )?;
+
+        // Interleaved optimizer: per bucket, the GPU takes `share` of the
+        // elements (fetch states -> step -> write back) while the CPU
+        // steps the rest.
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        for &(bi, _) in &arrivals {
+            let elems = shard(buckets.bucket_elems(bi));
+            let gpu_elems = (elems as f64 * share) as u64;
+            let cpu_elems = elems - gpu_elems;
+
+            if gpu_elems > 0 {
+                let fetch = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
+                    )
+                    .with_label(format!("opt-fetch[{bi}]"))
+                    .after(norm_sync),
+                )?;
+                let step = ctx.sim.add_task(
+                    TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, gpu_elems) + overhead)
+                        .with_label(format!("step-gpu[{bi}]"))
+                        .after(fetch),
+                )?;
+                let writeback = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.d2h,
+                        chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
+                    )
+                    .with_label(format!("opt-writeback[{bi}]"))
+                    .after(step),
+                )?;
+                iter_end.push(writeback);
+            }
+            if cpu_elems > 0 {
+                let step = ctx.sim.add_task(
+                    TaskSpec::compute(
+                        ctx.cpu,
+                        pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, cpu_elems) + overhead,
+                    )
+                    .with_label(format!("step-cpu[{bi}]"))
+                    .after(norm_sync),
+                )?;
+                let ret = ctx.sim.add_task(
+                    TaskSpec::transfer(ctx.h2d, cast.one_way_time(chip, cpu_elems) + overhead)
+                        .with_label(format!("param-in[{bi}]"))
+                        .after(step),
+                )?;
+                iter_end.push(ret);
+            }
+        }
+        iters.close(&mut ctx, iter_end)?;
+    }
+
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]
@@ -238,7 +234,10 @@ mod tests {
         );
         // On a PCIe machine the wire cost pushes work back to the CPU.
         let pcie = gpu_share(&presets::dgx2_chip());
-        assert!(pcie < share, "PCIe share {pcie} should be below C2C share {share}");
+        assert!(
+            pcie < share,
+            "PCIe share {pcie} should be below C2C share {share}"
+        );
     }
 
     #[test]

@@ -9,24 +9,52 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::casting::CastPlacement;
 use superoffload::costs::{ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
+/// PyTorch FSDP with CPU offloading as an [`OffloadSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsdpOffload;
+
+impl OffloadSystem for FsdpOffload {
+    fn name(&self) -> &str {
+        "fsdp-offload"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
+
 /// Simulates FSDP-CPU-Offload on `ranks` GPUs.
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
+    collapse(simulate_traced(cluster, ranks, workload), "fsdp-offload")
+}
+
+/// Like [`simulate`], additionally returning the execution trace, or the
+/// structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "fsdp-offload";
-    if !workload.global_batch.is_multiple_of(ranks) {
-        return TrainReport::oom(system);
-    }
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
@@ -34,24 +62,17 @@ pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> Train
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
     let layers = workload.config.layers.max(1);
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     // GPU: two units' parameters at a time (current + prefetch).
     let unit_params = params / layers as u64;
     let gpu_resident = 2 * 2 * unit_params * 2;
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(gpu_resident)?;
     let cpu_resident = (states.total()) / n;
-    if cpu_resident > cpu_cap {
-        return TrainReport::oom(system);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    cap.fit_cpu(cpu_resident)?;
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -66,111 +87,83 @@ pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> Train
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let d2h = sim.add_resource("c2c-d2h");
-    let h2d = sim.add_resource("c2c-h2d");
-    let net = sim.add_resource("fabric");
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut chain: Option<TaskId> = prev_gate;
-            for m in 0..plan.micro_steps() {
-                // Per-unit synchronous pipeline: fetch -> compute -> (bwd:
-                // grad out). No overlap: each step waits for the previous.
-                for l in 0..layers {
-                    let fetch = sim.add_task(
-                        TaskSpec::transfer(
-                            h2d,
-                            chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
-                        )
-                        .with_label(format!("unit-fetch-fwd[{l}]"))
-                        .after_all(chain),
-                    )?;
-                    let fwd = sim.add_task(
-                        TaskSpec::compute(
-                            gpu,
-                            compute.fwd_per_micro / layers as f64 + overhead,
-                        )
-                        .with_label(format!("unit-fwd[{l}]"))
-                        .after(fetch),
-                    )?;
-                    chain = Some(fwd);
-                }
-                for l in (0..layers).rev() {
-                    let fetch = sim.add_task(
-                        TaskSpec::transfer(
-                            h2d,
-                            chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
-                        )
-                        .with_label(format!("unit-fetch-bwd[{l}]"))
-                        .after_all(chain),
-                    )?;
-                    let bwd = sim.add_task(
-                        TaskSpec::compute(
-                            gpu,
-                            compute.bwd_per_micro / layers as f64 + overhead,
-                        )
-                        .with_label(format!("unit-bwd[{l}]"))
-                        .after(fetch),
-                    )?;
-                    let mut dep = bwd;
-                    if ranks > 1 && m + 1 == plan.micro_steps() {
-                        dep = sim.add_task(
-                            TaskSpec::collective(
-                                net,
-                                coll.reduce_scatter(2 * unit_params) + overhead,
-                            )
-                            .with_label(format!("unit-reduce[{l}]"))
-                            .after(bwd),
-                        )?;
-                    }
-                    let out = sim.add_task(
-                        TaskSpec::transfer(
-                            d2h,
-                            cast.one_way_time(chip, shard(unit_params)) + overhead,
-                        )
-                        .with_label(format!("unit-grad-out[{l}]"))
-                        .after(dep),
-                    )?;
-                    chain = Some(out);
-                }
-            }
-            // Optimizer: framework-native CPU Adam, one unit at a time on a
-            // single thread, fully serialized behind the backward pass.
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut chain: Option<TaskId> = iters.prev_gate();
+        for m in 0..plan.micro_steps() {
+            // Per-unit synchronous pipeline: fetch -> compute -> (bwd:
+            // grad out). No overlap: each step waits for the previous.
             for l in 0..layers {
-                let step = sim.add_task(
-                    TaskSpec::compute(
-                        cpu,
-                        OptimizerImpl::PtCpuSingleThread.step_time(&chip.cpu, shard(unit_params))
-                            + overhead,
+                let fetch = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
                     )
-                    .with_label(format!("unit-step[{l}]"))
+                    .with_label(format!("unit-fetch-fwd[{l}]"))
                     .after_all(chain),
                 )?;
-                chain = Some(step);
+                let fwd = ctx.sim.add_task(
+                    TaskSpec::compute(ctx.gpu, compute.fwd_per_micro / layers as f64 + overhead)
+                        .with_label(format!("unit-fwd[{l}]"))
+                        .after(fetch),
+                )?;
+                chain = Some(fwd);
             }
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu).with_label("iter-gate").after_all(chain),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
+            for l in (0..layers).rev() {
+                let fetch = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
+                    )
+                    .with_label(format!("unit-fetch-bwd[{l}]"))
+                    .after_all(chain),
+                )?;
+                let bwd = ctx.sim.add_task(
+                    TaskSpec::compute(ctx.gpu, compute.bwd_per_micro / layers as f64 + overhead)
+                        .with_label(format!("unit-bwd[{l}]"))
+                        .after(fetch),
+                )?;
+                let mut dep = bwd;
+                if ranks > 1 && m + 1 == plan.micro_steps() {
+                    dep = ctx.reduce_scatter(
+                        &coll,
+                        2 * unit_params,
+                        overhead,
+                        format!("unit-reduce[{l}]"),
+                        bwd,
+                    )?;
+                }
+                let out = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.d2h,
+                        cast.one_way_time(chip, shard(unit_params)) + overhead,
+                    )
+                    .with_label(format!("unit-grad-out[{l}]"))
+                    .after(dep),
+                )?;
+                chain = Some(out);
+            }
         }
-        Ok(gates)
-    };
+        // Optimizer: framework-native CPU Adam, one unit at a time on a
+        // single thread, fully serialized behind the backward pass.
+        for l in 0..layers {
+            let step = ctx.sim.add_task(
+                TaskSpec::compute(
+                    ctx.cpu,
+                    OptimizerImpl::PtCpuSingleThread.step_time(&chip.cpu, shard(unit_params))
+                        + overhead,
+                )
+                .with_label(format!("unit-step[{l}]"))
+                .after_all(chain),
+            )?;
+            chain = Some(step);
+        }
+        iters.close(&mut ctx, chain)?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]
@@ -191,7 +184,11 @@ mod tests {
         for name in ["5B", "13B"] {
             let r = simulate(&c, 1, &wl(name, 8));
             assert!(r.feasible(), "{name} should fit");
-            assert!(r.tflops < 30.0, "{name}: expected very low TFLOPS, got {}", r.tflops);
+            assert!(
+                r.tflops < 30.0,
+                "{name}: expected very low TFLOPS, got {}",
+                r.tflops
+            );
         }
     }
 

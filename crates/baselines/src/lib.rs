@@ -16,6 +16,12 @@
 //!   small default buckets).
 //! - [`fsdp_offload`] — PyTorch FSDP with CPU offloading (fully synchronous
 //!   per-unit swapping and a single-threaded native CPU optimizer).
+//!
+//! Every system implements [`superoffload::system::OffloadSystem`] and is
+//! registered in [`registry::standard_registry`], which the experiment
+//! drivers and property tests iterate. Infeasible configurations surface as
+//! typed [`superoffload::system::Infeasible`] reasons rather than a bare
+//! "OOM" report.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,9 +32,12 @@ pub mod deep_optimizer_states;
 pub mod fsdp_offload;
 pub mod megatron;
 pub mod pipeline;
+pub mod registry;
 pub mod zero;
 pub mod zero_infinity;
 pub mod zero_offload;
 
 pub use common::single_chip_cluster;
+pub use registry::standard_registry;
 pub use superoffload::report::TrainReport;
+pub use superoffload::system::{Infeasible, OffloadSystem, SystemRegistry};

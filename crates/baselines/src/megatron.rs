@@ -14,13 +14,35 @@ use superchip_sim::prelude::*;
 
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
 /// Fraction of activations that remain unsharded under tensor parallelism
 /// (LayerNorms, dropouts, residuals).
 const UNSHARDED_ACT_FRACTION: f64 = 0.15;
+
+/// Megatron tensor parallelism (best MP degree per workload) as an
+/// [`OffloadSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Megatron;
+
+impl OffloadSystem for Megatron {
+    fn name(&self) -> &str {
+        "megatron"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
 
 /// Simulates Megatron with an explicit MP degree (`mp` must divide `ranks`;
 /// the remaining `ranks / mp` ways are data parallelism).
@@ -30,32 +52,41 @@ pub fn simulate_with_mp(
     mp: u32,
     workload: &Workload,
 ) -> TrainReport {
+    collapse(
+        simulate_with_mp_traced(cluster, ranks, mp, workload),
+        "megatron",
+    )
+}
+
+/// Like [`simulate_with_mp`], additionally returning the execution trace,
+/// or the structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_with_mp_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    mp: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(mp >= 1 && ranks.is_multiple_of(mp), "mp must divide ranks");
     let system = "megatron";
     let chip = &cluster.node.chip;
     let dp = ranks / mp;
-    if !workload.global_batch.is_multiple_of(dp) {
-        return TrainReport::oom(system);
-    }
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let mp_coll = CollectiveCost::new(*cluster.collective_link(mp), mp);
     let dp_coll = CollectiveCost::new(*cluster.collective_link(ranks), dp);
 
-    let rank_batch = workload.global_batch / dp;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, dp)?;
+    let rank_batch = rank_wl.global_batch;
 
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let gpu_resident = states.total() / mp as u64;
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(gpu_resident)?;
     // Activation budget: sharded by mp except the unsharded fraction.
     let act_scale = (1.0 - UNSHARDED_ACT_FRACTION) / mp as f64 + UNSHARDED_ACT_FRACTION;
-    let budget = ((gpu_cap - gpu_resident) as f64 / act_scale) as u64;
-    let Some(plan) = ExecutionPlan::best(&rank_wl, budget) else {
-        return TrainReport::oom(system);
-    };
+    let budget = ((cap.gpu - gpu_resident) as f64 / act_scale) as u64;
+    let plan = ExecutionPlan::best(&rank_wl, budget).ok_or(Infeasible::NoExecutionPlan {
+        activation_budget: budget,
+    })?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -74,8 +105,7 @@ pub fn simulate_with_mp(
 
     // TP all-reduces: 4 per layer per micro-step, each over the micro-batch
     // activations (tokens · hidden · 2 bytes).
-    let micro_tokens =
-        (rank_batch / plan.micro_steps()).max(1) as u64 * workload.seq;
+    let micro_tokens = (rank_batch / plan.micro_steps()).max(1) as u64 * workload.seq;
     let ar_bytes = 2 * micro_tokens * workload.config.hidden as u64;
     let tp_comm_per_micro = if mp > 1 {
         mp_coll.all_reduce(ar_bytes) * (4 * workload.config.layers) as f64
@@ -83,101 +113,103 @@ pub fn simulate_with_mp(
         SimTime::ZERO
     };
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let net = sim.add_resource("fabric");
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut last: Option<TaskId> = None;
-            for _m in 0..plan.micro_steps() {
-                let deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
-                // Alternate compute and blocking TP all-reduces in four
-                // segments per pass (Megatron's collectives sit on the
-                // critical path).
-                let segments = 4u32;
-                let mut prev: Option<TaskId> = None;
-                for s in 0..segments {
-                    let mut spec = TaskSpec::compute(
-                        gpu,
-                        (compute.fwd_per_micro + compute.bwd_per_micro) / segments as f64
-                            + overhead,
-                    )
-                    .with_label(format!("compute[{s}]"))
-                    .after_all(deps.iter().copied());
-                    if let Some(p) = prev {
-                        spec = spec.after(p);
-                    }
-                    let c = sim.add_task(spec)?;
-                    if mp > 1 {
-                        let ar = sim.add_task(
-                            TaskSpec::collective(
-                                net,
-                                tp_comm_per_micro / segments as f64 + overhead,
-                            )
-                            .with_label(format!("tp-allreduce[{s}]"))
-                            .after(c),
-                        )?;
-                        prev = Some(ar);
-                    } else {
-                        prev = Some(c);
-                    }
-                }
-                last = prev;
-            }
-            // DP gradient all-reduce over the shard (2Ψ/mp bytes).
-            let mut step_dep = last.expect("at least one micro-step");
-            if dp > 1 {
-                step_dep = sim.add_task(
-                    TaskSpec::collective(
-                        net,
-                        dp_coll.all_reduce(states.fp16_grads / mp as u64) + overhead,
-                    )
-                    .with_label("dp-allreduce")
-                    .after(step_dep),
-                )?;
-            }
-            let step = sim.add_task(
-                TaskSpec::compute(
-                    gpu,
-                    gpu_optimizer_time(&chip.gpu, params / mp as u64) + overhead,
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut last: Option<TaskId> = None;
+        for _m in 0..plan.micro_steps() {
+            let deps: Vec<TaskId> = iters.start_deps().into_iter().chain(last).collect();
+            // Alternate compute and blocking TP all-reduces in four
+            // segments per pass (Megatron's collectives sit on the
+            // critical path).
+            let segments = 4u32;
+            let mut prev: Option<TaskId> = None;
+            for s in 0..segments {
+                let mut spec = TaskSpec::compute(
+                    ctx.gpu,
+                    (compute.fwd_per_micro + compute.bwd_per_micro) / segments as f64 + overhead,
                 )
-                .with_label("step-gpu")
+                .with_label(format!("compute[{s}]"))
+                .after_all(deps.iter().copied());
+                if let Some(p) = prev {
+                    spec = spec.after(p);
+                }
+                let c = ctx.sim.add_task(spec)?;
+                if mp > 1 {
+                    let ar = ctx.sim.add_task(
+                        TaskSpec::collective(
+                            ctx.net,
+                            tp_comm_per_micro / segments as f64 + overhead,
+                        )
+                        .with_label(format!("tp-allreduce[{s}]"))
+                        .after(c),
+                    )?;
+                    prev = Some(ar);
+                } else {
+                    prev = Some(c);
+                }
+            }
+            last = prev;
+        }
+        // DP gradient all-reduce over the shard (2Ψ/mp bytes).
+        let mut step_dep = last.expect("at least one micro-step");
+        if dp > 1 {
+            step_dep = ctx.sim.add_task(
+                TaskSpec::collective(
+                    ctx.net,
+                    dp_coll.all_reduce(states.fp16_grads / mp as u64) + overhead,
+                )
+                .with_label("dp-allreduce")
                 .after(step_dep),
             )?;
-            let gate = sim.add_task(TaskSpec::sync(gpu).with_label("iter-gate").after(step))?;
-            prev_gate = Some(gate);
-            gates.push(gate);
         }
-        Ok(gates)
-    };
+        let step = ctx.sim.add_task(
+            TaskSpec::compute(
+                ctx.gpu,
+                gpu_optimizer_time(&chip.gpu, params / mp as u64) + overhead,
+            )
+            .with_label("step-gpu")
+            .after(step_dep),
+        )?;
+        iters.close(&mut ctx, [step])?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, per_gpu.effective(), chip, plan)
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, per_gpu.effective(), chip, plan)
 }
 
 /// Simulates Megatron with the best MP degree among divisors of `ranks`
 /// (the paper's methodology: "we use a MP degree that gives the best
 /// performance").
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
-    let mut best = TrainReport::oom("megatron");
+    collapse(simulate_traced(cluster, ranks, workload), "megatron")
+}
+
+/// Like [`simulate`], additionally returning the execution trace of the
+/// best MP degree, or — when no degree is feasible — the structured
+/// [`Infeasible`] reason from the first degree tried (mp = 1).
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
+    let mut best: Option<(TrainReport, Trace)> = None;
+    let mut first_err: Option<Infeasible> = None;
     for mp in (1..=ranks).filter(|m| ranks.is_multiple_of(*m)) {
-        let r = simulate_with_mp(cluster, ranks, mp, workload);
-        if r.feasible() && (!best.feasible() || r.tflops > best.tflops) {
-            best = r;
+        match simulate_with_mp_traced(cluster, ranks, mp, workload) {
+            Ok((r, t)) => {
+                if best.as_ref().is_none_or(|(b, _)| r.tflops > b.tflops) {
+                    best = Some((r, t));
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
         }
     }
-    best
+    best.ok_or_else(|| first_err.expect("at least mp = 1 is tried"))
 }
 
 #[cfg(test)]
@@ -204,6 +236,16 @@ mod tests {
         // 15B needs aggregated memory: infeasible on 1 GPU, feasible at mp 4.
         assert!(!simulate_with_mp(&c, 4, 1, &wl("15B", 16)).feasible());
         assert!(simulate_with_mp(&c, 4, 4, &wl("15B", 16)).feasible());
+    }
+
+    #[test]
+    fn infeasible_mp1_reports_gpu_capacity() {
+        let c = presets::gh200_nvl2_cluster(2);
+        let err = simulate_with_mp_traced(&c, 4, 1, &wl("15B", 16)).unwrap_err();
+        assert!(
+            matches!(err, Infeasible::GpuCapacity { .. }),
+            "expected GpuCapacity, got {err}"
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! Unlike the rank-symmetric schedules elsewhere, this one simulates every
 //! stage as its own GPU resource, so the bubble emerges from the task graph
 //! rather than a formula (the formula is what the tests check it against).
+//! Because of that asymmetric resource layout it builds its own task graph
+//! instead of using [`ScheduleCtx`](superoffload::system::ScheduleCtx), but
+//! it reports infeasibility through the same typed [`Infeasible`] channel.
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::{ActivationMemory, ModelStateMemory};
@@ -19,7 +22,8 @@ use superchip_sim::prelude::*;
 
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, GPU_USABLE};
+use superoffload::schedule::finalize_report;
+use superoffload::system::{collapse, Capacity, Infeasible, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -29,11 +33,40 @@ pub fn bubble_fraction(stages: u32, micro_batches: u32) -> f64 {
     (stages as f64 - 1.0) / (micro_batches as f64 + stages as f64 - 1.0)
 }
 
+/// GPipe pipeline parallelism as an [`OffloadSystem`] (`ranks` == stages).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipeline;
+
+impl OffloadSystem for Pipeline {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
+
 /// Simulates GPipe pipeline parallelism with `stages` == `ranks` GPUs.
 ///
 /// The report is per-GPU (effective FLOPs of one stage over the steady
 /// iteration), comparable with the other baselines.
 pub fn simulate(cluster: &ClusterSpec, stages: u32, workload: &Workload) -> TrainReport {
+    collapse(simulate_traced(cluster, stages, workload), "pipeline")
+}
+
+/// Like [`simulate`], additionally returning the execution trace, or the
+/// structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    stages: u32,
+    workload: &Workload,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(stages >= 1 && stages <= cluster.total_gpus());
     let system = "pipeline";
     let chip = &cluster.node.chip;
@@ -44,11 +77,9 @@ pub fn simulate(cluster: &ClusterSpec, stages: u32, workload: &Workload) -> Trai
     // Memory per stage: 1/stages of the model states, plus activations for
     // the micro-batches in flight (up to `stages` of them at the steady
     // point of the pipeline).
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let stage_states = states.total() / stages as u64;
-    if stage_states > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(stage_states)?;
     // Choose the micro-batch: smallest unit (1 sequence) maximizes bubble
     // amortization; check that `stages` in-flight micro-activations fit.
     let micro_batches = workload.global_batch;
@@ -58,9 +89,7 @@ pub fn simulate(cluster: &ClusterSpec, stages: u32, workload: &Workload) -> Trai
         ActivationMemory::full(&cfg, 1, workload.seq).bytes
     };
     let in_flight = stages.min(micro_batches) as u64;
-    if stage_states + stage_cfg_act * in_flight > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(stage_states + stage_cfg_act * in_flight)?;
     let plan = ExecutionPlan {
         micro_batch: 1,
         accum_steps: micro_batches,
@@ -68,7 +97,8 @@ pub fn simulate(cluster: &ClusterSpec, stages: u32, workload: &Workload) -> Trai
         activation_bytes: stage_cfg_act * in_flight,
     };
 
-    let flops = TrainingFlops::for_iteration(&workload.config, workload.global_batch, workload.seq, false);
+    let flops =
+        TrainingFlops::for_iteration(&workload.config, workload.global_batch, workload.seq, false);
     // Whole-model compute split per stage and per micro-batch.
     let compute = ComputeTimes::new(&chip.gpu, &flops, 1);
     let fwd_chunk = compute.fwd_per_micro / (stages * micro_batches) as f64;
@@ -87,99 +117,94 @@ pub fn simulate(cluster: &ClusterSpec, stages: u32, workload: &Workload) -> Trai
         .map(|s| sim.add_resource(format!("link{s}")))
         .collect();
 
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let s = stages as usize;
-            let m = micro_batches as usize;
-            // fwd[stage][micro], bwd[stage][micro]
-            let mut fwd = vec![vec![None::<TaskId>; m]; s];
-            for micro in 0..m {
-                for stage in 0..s {
-                    let mut spec = TaskSpec::compute(gpus[stage], fwd_chunk + overhead)
-                        .with_label(format!("fwd[s{stage},m{micro}]"));
-                    if let Some(g) = prev_gate {
-                        spec = spec.after(g);
-                    }
-                    if micro > 0 {
-                        spec = spec.after(fwd[stage][micro - 1].expect("built in order"));
-                    }
-                    if stage > 0 {
-                        let hop_task = sim.add_task(
-                            TaskSpec::transfer(links[stage - 1], hop + overhead)
-                                .with_label(format!("act[s{stage},m{micro}]"))
-                                .after(fwd[stage - 1][micro].expect("built in order")),
-                        )?;
-                        spec = spec.after(hop_task);
-                    }
-                    fwd[stage][micro] = Some(sim.add_task(spec)?);
-                }
-            }
-            // Backward: reverse stage order (GPipe's flush style: backward
-            // starts after all forwards).
-            let mut bwd = vec![vec![None::<TaskId>; m]; s];
-            for micro in 0..m {
-                for rstage in 0..s {
-                    let stage = s - 1 - rstage;
-                    let mut spec = TaskSpec::compute(gpus[stage], bwd_chunk + overhead)
-                        .with_label(format!("bwd[s{stage},m{micro}]"))
-                        .after(fwd[s - 1][m - 1].expect("all forwards built"));
-                    if micro > 0 {
-                        spec = spec.after(bwd[stage][micro - 1].expect("built in order"));
-                    }
-                    if stage + 1 < s {
-                        let hop_task = sim.add_task(
-                            TaskSpec::transfer(links[stage], hop + overhead)
-                                .with_label(format!("grad[s{stage},m{micro}]"))
-                                .after(bwd[stage + 1][micro].expect("built in order")),
-                        )?;
-                        spec = spec.after(hop_task);
-                    }
-                    bwd[stage][micro] = Some(sim.add_task(spec)?);
-                }
-            }
-            // Per-stage optimizer over its parameter shard.
-            let mut iter_end = Vec::new();
+    let mut gates = Vec::new();
+    let mut prev_gate: Option<TaskId> = None;
+    for _ in 0..ITERATIONS {
+        let s = stages as usize;
+        let m = micro_batches as usize;
+        // fwd[stage][micro], bwd[stage][micro]
+        let mut fwd = vec![vec![None::<TaskId>; m]; s];
+        for micro in 0..m {
             for stage in 0..s {
-                let step = sim.add_task(
-                    TaskSpec::compute(
-                        gpus[stage],
-                        gpu_optimizer_time(&chip.gpu, params / stages as u64) + overhead,
-                    )
-                    .with_label(format!("step[s{stage}]"))
-                    .after(bwd[stage][m - 1].expect("built in order")),
-                )?;
-                iter_end.push(step);
+                let mut spec = TaskSpec::compute(gpus[stage], fwd_chunk + overhead)
+                    .with_label(format!("fwd[s{stage},m{micro}]"));
+                if let Some(g) = prev_gate {
+                    spec = spec.after(g);
+                }
+                if micro > 0 {
+                    spec = spec.after(fwd[stage][micro - 1].expect("built in order"));
+                }
+                if stage > 0 {
+                    let hop_task = sim.add_task(
+                        TaskSpec::transfer(links[stage - 1], hop + overhead)
+                            .with_label(format!("act[s{stage},m{micro}]"))
+                            .after(fwd[stage - 1][micro].expect("built in order")),
+                    )?;
+                    spec = spec.after(hop_task);
+                }
+                fwd[stage][micro] = Some(sim.add_task(spec)?);
             }
-            let gate = sim.add_task(
-                TaskSpec::sync(gpus[0]).with_label("iter-gate").after_all(iter_end),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
         }
-        Ok(gates)
-    };
+        // Backward: reverse stage order (GPipe's flush style: backward
+        // starts after all forwards).
+        let mut bwd = vec![vec![None::<TaskId>; m]; s];
+        for micro in 0..m {
+            for rstage in 0..s {
+                let stage = s - 1 - rstage;
+                let mut spec = TaskSpec::compute(gpus[stage], bwd_chunk + overhead)
+                    .with_label(format!("bwd[s{stage},m{micro}]"))
+                    .after(fwd[s - 1][m - 1].expect("all forwards built"));
+                if micro > 0 {
+                    spec = spec.after(bwd[stage][micro - 1].expect("built in order"));
+                }
+                if stage + 1 < s {
+                    let hop_task = sim.add_task(
+                        TaskSpec::transfer(links[stage], hop + overhead)
+                            .with_label(format!("grad[s{stage},m{micro}]"))
+                            .after(bwd[stage + 1][micro].expect("built in order")),
+                    )?;
+                    spec = spec.after(hop_task);
+                }
+                bwd[stage][micro] = Some(sim.add_task(spec)?);
+            }
+        }
+        // Per-stage optimizer over its parameter shard.
+        let mut iter_end = Vec::new();
+        for stage in 0..s {
+            let step = sim.add_task(
+                TaskSpec::compute(
+                    gpus[stage],
+                    gpu_optimizer_time(&chip.gpu, params / stages as u64) + overhead,
+                )
+                .with_label(format!("step[s{stage}]"))
+                .after(bwd[stage][m - 1].expect("built in order")),
+            )?;
+            iter_end.push(step);
+        }
+        let gate = sim.add_task(
+            TaskSpec::sync(gpus[0])
+                .with_label("iter-gate")
+                .after_all(iter_end),
+        )?;
+        prev_gate = Some(gate);
+        gates.push(gate);
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
+    let trace = sim.run()?;
     // Per-GPU effective FLOPs: one stage's share.
-    finalize_report(
-        system,
-        &trace,
-        &gates,
-        gpus[0],
-        cpu,
-        flops.effective() / stages as f64,
-        chip,
-        plan,
-    )
+    Ok((
+        finalize_report(
+            system,
+            &trace,
+            &gates,
+            gpus[0],
+            cpu,
+            flops.effective() / stages as f64,
+            chip,
+            plan,
+        ),
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -223,7 +248,12 @@ mod tests {
     fn pipeline_extends_model_scale_with_stages() {
         let cluster = presets::gh200_nvl2_cluster(2);
         // 15B does not fit one GPU but fits 4 pipeline stages.
-        assert!(!simulate(&single_chip_cluster(&presets::gh200_chip()), 1, &wl("15B", 8)).feasible());
+        assert!(!simulate(
+            &single_chip_cluster(&presets::gh200_chip()),
+            1,
+            &wl("15B", 8)
+        )
+        .feasible());
         assert!(simulate(&cluster, 4, &wl("15B", 8)).feasible());
     }
 

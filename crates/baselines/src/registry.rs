@@ -1,0 +1,81 @@
+//! The standard system registry: every simulated training system from the
+//! paper's evaluation, registered by name.
+//!
+//! This is the single source of truth the experiment drivers
+//! (`bench::experiments`), the `repro` binary, and the registry-wide
+//! property tests iterate — adding a system here makes it appear in every
+//! figure sweep and test automatically.
+
+use superoffload::schedule::SuperOffloadOptions;
+use superoffload::system::{SuperOffload, SystemRegistry};
+
+use crate::ddp::Ddp;
+use crate::deep_optimizer_states::DeepOptimizerStates;
+use crate::fsdp_offload::FsdpOffload;
+use crate::megatron::Megatron;
+use crate::pipeline::Pipeline;
+use crate::zero::{Zero, ZeroStage};
+use crate::zero_infinity::ZeroInfinity;
+use crate::zero_offload::ZeroOffload;
+
+/// Builds the registry of all systems from the paper, in the order the
+/// figures list them:
+///
+/// `pytorch-ddp`, `megatron`, `pipeline`, `zero-2`, `zero-3`,
+/// `zero-offload`, `zero-infinity`, `fsdp-offload`,
+/// `deep-optimizer-states`, `superoffload`.
+pub fn standard_registry() -> SystemRegistry {
+    let mut reg = SystemRegistry::new();
+    reg.register(Ddp);
+    reg.register(Megatron);
+    reg.register(Pipeline);
+    reg.register(Zero {
+        stage: ZeroStage::Two,
+    });
+    reg.register(Zero {
+        stage: ZeroStage::Three,
+    });
+    reg.register(ZeroOffload);
+    reg.register(ZeroInfinity::default());
+    reg.register(FsdpOffload);
+    reg.register(DeepOptimizerStates);
+    reg.register(SuperOffload {
+        opts: SuperOffloadOptions::default(),
+    });
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_systems_are_registered() {
+        let reg = standard_registry();
+        let names = reg.names();
+        assert_eq!(
+            names,
+            vec![
+                "pytorch-ddp",
+                "megatron",
+                "pipeline",
+                "zero-2",
+                "zero-3",
+                "zero-offload",
+                "zero-infinity",
+                "fsdp-offload",
+                "deep-optimizer-states",
+                "superoffload",
+            ]
+        );
+        assert_eq!(reg.len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name_matches_iteration_order() {
+        let reg = standard_registry();
+        for name in reg.names() {
+            assert_eq!(reg.expect(name).name(), name);
+        }
+    }
+}

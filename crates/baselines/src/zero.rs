@@ -6,14 +6,16 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
@@ -39,6 +41,28 @@ impl ZeroStage {
 /// DeepSpeed's default reduce bucket size.
 const ZERO_BUCKET_BYTES: u64 = 200 * 1000 * 1000;
 
+/// ZeRO-2 or ZeRO-3 as an [`OffloadSystem`].
+#[derive(Debug, Clone, Copy)]
+pub struct Zero {
+    /// Which ZeRO stage this system simulates.
+    pub stage: ZeroStage,
+}
+
+impl OffloadSystem for Zero {
+    fn name(&self) -> &str {
+        self.stage.name()
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload, self.stage)
+    }
+}
+
 /// Simulates ZeRO-2/3 on `ranks` GPUs.
 pub fn simulate(
     cluster: &ClusterSpec,
@@ -46,20 +70,31 @@ pub fn simulate(
     workload: &Workload,
     stage: ZeroStage,
 ) -> TrainReport {
+    collapse(
+        simulate_traced(cluster, ranks, workload, stage),
+        stage.name(),
+    )
+}
+
+/// Like [`simulate`], additionally returning the execution trace, or the
+/// structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    stage: ZeroStage,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = stage.name();
-    if !workload.global_batch.is_multiple_of(ranks) {
-        return TrainReport::oom(system);
-    }
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let n = ranks as u64;
     let gpu_resident = match stage {
         // Full FP16 params + full FP16 gradients (held until the reduction
@@ -76,12 +111,7 @@ pub fn simulate(
             states.total() / n + window + 2 * ZERO_BUCKET_BYTES
         }
     };
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -94,93 +124,76 @@ pub fn simulate(
     let buckets = BucketPlan::new(params, ZERO_BUCKET_BYTES, 0);
     let allgather = coll.all_gather(states.fp16_params / n.max(1));
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let net = sim.add_resource("fabric");
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            let mut last: Option<TaskId> = None;
-            for m in 0..plan.micro_steps() {
-                let mut deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
-                if stage == ZeroStage::Three && ranks > 1 {
-                    let ag = sim.add_task(
-                        TaskSpec::collective(net, allgather + overhead)
-                            .with_label("allgather-fwd")
-                            .after_all(deps.iter().copied()),
-                    )?;
-                    deps = vec![ag];
-                }
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(deps),
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        let mut last: Option<TaskId> = None;
+        for m in 0..plan.micro_steps() {
+            let mut deps: Vec<TaskId> = iters.start_deps().into_iter().chain(last).collect();
+            if stage == ZeroStage::Three && ranks > 1 {
+                let ag = ctx.sim.add_task(
+                    TaskSpec::collective(ctx.net, allgather + overhead)
+                        .with_label("allgather-fwd")
+                        .after_all(deps.iter().copied()),
                 )?;
-                let mut bwd_start = fwd;
-                if stage == ZeroStage::Three && ranks > 1 {
-                    bwd_start = sim.add_task(
-                        TaskSpec::collective(net, allgather + overhead)
-                            .with_label("allgather-bwd")
-                            .after(fwd),
-                    )?;
-                }
-                let mut prev_chunk = bwd_start;
-                for bi in 0..buckets.num_buckets {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
+                deps = vec![ag];
+            }
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, deps)?;
+            let mut bwd_start = fwd;
+            if stage == ZeroStage::Three && ranks > 1 {
+                bwd_start = ctx.sim.add_task(
+                    TaskSpec::collective(ctx.net, allgather + overhead)
+                        .with_label("allgather-bwd")
+                        .after(fwd),
+                )?;
+            }
+            let prev_chunk = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                bwd_start,
+                None,
+                |ctx, bi, elems, chunk| {
                     if ranks > 1 && m + 1 == plan.micro_steps() {
-                        let rs = sim.add_task(
-                            TaskSpec::collective(net, coll.reduce_scatter(2 * elems) + overhead)
-                                .with_label(format!("reduce-scatter[{bi}]"))
-                                .after(chunk),
+                        let rs = ctx.reduce_scatter(
+                            &coll,
+                            2 * elems,
+                            overhead,
+                            format!("reduce-scatter[{bi}]"),
+                            chunk,
                         )?;
                         iter_end.push(rs);
                     }
-                }
-                last = Some(prev_chunk);
-            }
-            // Sharded GPU optimizer step.
-            let step = sim.add_task(
-                TaskSpec::compute(gpu, gpu_optimizer_time(&chip.gpu, params / n) + overhead)
-                    .with_label("step-gpu")
-                    .after_all(iter_end.iter().copied().chain(last)),
+                    Ok(())
+                },
             )?;
-            // ZeRO-2: all-gather updated FP16 params back to every rank.
-            let gate_dep = if stage == ZeroStage::Two && ranks > 1 {
-                sim.add_task(
-                    TaskSpec::collective(net, allgather + overhead)
-                        .with_label("allgather-params")
-                        .after(step),
-                )?
-            } else {
-                step
-            };
-            let gate = sim.add_task(TaskSpec::sync(gpu).with_label("iter-gate").after(gate_dep))?;
-            prev_gate = Some(gate);
-            gates.push(gate);
+            last = Some(prev_chunk);
         }
-        Ok(gates)
-    };
+        // Sharded GPU optimizer step.
+        let step = ctx.sim.add_task(
+            TaskSpec::compute(
+                ctx.gpu,
+                gpu_optimizer_time(&chip.gpu, params / n) + overhead,
+            )
+            .with_label("step-gpu")
+            .after_all(iter_end.iter().copied().chain(last)),
+        )?;
+        // ZeRO-2: all-gather updated FP16 params back to every rank.
+        let gate_dep = if stage == ZeroStage::Two && ranks > 1 {
+            ctx.sim.add_task(
+                TaskSpec::collective(ctx.net, allgather + overhead)
+                    .with_label("allgather-params")
+                    .after(step),
+            )?
+        } else {
+            step
+        };
+        iters.close(&mut ctx, [gate_dep])?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]

@@ -10,17 +10,17 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::casting::CastPlacement;
-use superoffload::costs::{
-    pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK,
-};
+use superoffload::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+};
 
 use crate::common::ITERATIONS;
 
@@ -54,6 +54,29 @@ impl Default for NvmeTier {
     }
 }
 
+/// ZeRO-Infinity as an [`OffloadSystem`] (CPU offload only by default; set
+/// `nvme` to add the NVMe tier).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroInfinity {
+    /// Optional NVMe tier for optimizer states.
+    pub nvme: Option<NvmeTier>,
+}
+
+impl OffloadSystem for ZeroInfinity {
+    fn name(&self) -> &str {
+        "zero-infinity"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_with_nvme_traced(cluster, ranks, workload, self.nvme)
+    }
+}
+
 /// Simulates ZeRO-Infinity (CPU offload only) on `ranks` GPUs.
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
     simulate_with_nvme(cluster, ranks, workload, None)
@@ -66,47 +89,53 @@ pub fn simulate_with_nvme(
     workload: &Workload,
     nvme: Option<NvmeTier>,
 ) -> TrainReport {
+    collapse(
+        simulate_with_nvme_traced(cluster, ranks, workload, nvme),
+        "zero-infinity",
+    )
+}
+
+/// Like [`simulate_with_nvme`], additionally returning the execution trace,
+/// or the structured [`Infeasible`] reason when the workload cannot run.
+pub fn simulate_with_nvme_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    nvme: Option<NvmeTier>,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "zero-infinity";
-    if !workload.global_batch.is_multiple_of(ranks) {
-        return TrainReport::oom(system);
-    }
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
     // GPU: only a streaming window + staging. CPU: all model states.
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
     let gpu_resident = window + 4 * INFINITY_BUCKET_BYTES;
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(gpu_resident)?;
     // With an NVMe tier the optimizer states (12Ψ) move off the CPU; only
     // the FP16 parameter mirror and swap buffers stay in DDR.
     let cpu_resident = match nvme {
-        None => {
-            (states.optimizer_states() + states.fp16_params) / n + 4 * INFINITY_BUCKET_BYTES
-        }
+        None => (states.optimizer_states() + states.fp16_params) / n + 4 * INFINITY_BUCKET_BYTES,
         Some(_) => states.fp16_params / n + 8 * INFINITY_BUCKET_BYTES,
     };
-    if cpu_resident > cpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_cpu(cpu_resident)?;
     if let Some(tier) = nvme {
-        if states.optimizer_states() / n > tier.capacity {
-            return TrainReport::oom(system);
+        let needed = states.optimizer_states() / n;
+        if needed > tier.capacity {
+            return Err(Infeasible::NvmeCapacity {
+                needed,
+                cap: tier.capacity,
+            });
         }
     }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -131,64 +160,49 @@ pub fn simulate_with_nvme(
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let d2h = sim.add_resource("c2c-d2h");
-    let h2d = sim.add_resource("c2c-h2d");
-    let net = sim.add_resource("fabric");
-    let nvme_res = sim.add_resource("nvme");
+    let mut ctx = ScheduleCtx::standard();
+    let nvme_res = ctx.add_resource("nvme");
 
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut last: Option<TaskId> = None;
-            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
-            for m in 0..plan.micro_steps() {
-                let deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
-                // Stream weights for forward; partially overlapped (the
-                // prefetcher hides at most half the stream behind compute).
-                let fetch_f = sim.add_task(
-                    TaskSpec::transfer(h2d, stream_per_pass)
-                        .with_label("weight-stream-fwd")
-                        .after_all(deps.iter().copied()),
-                )?;
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after(fetch_f),
-                )?;
-                let fetch_b = sim.add_task(
-                    TaskSpec::transfer(h2d, stream_per_pass)
-                        .with_label("weight-stream-bwd")
-                        .after(fwd),
-                )?;
-                let mut prev_chunk = fetch_b;
-                for bi in 0..buckets.num_buckets {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut last: Option<TaskId> = None;
+        let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+        for m in 0..plan.micro_steps() {
+            let deps: Vec<TaskId> = iters.start_deps().into_iter().chain(last).collect();
+            // Stream weights for forward; partially overlapped (the
+            // prefetcher hides at most half the stream behind compute).
+            let fetch_f = ctx.sim.add_task(
+                TaskSpec::transfer(ctx.h2d, stream_per_pass)
+                    .with_label("weight-stream-fwd")
+                    .after_all(deps.iter().copied()),
+            )?;
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, [fetch_f])?;
+            let fetch_b = ctx.sim.add_task(
+                TaskSpec::transfer(ctx.h2d, stream_per_pass)
+                    .with_label("weight-stream-bwd")
+                    .after(fwd),
+            )?;
+            let prev_chunk = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                fetch_b,
+                None,
+                |ctx, bi, elems, chunk| {
                     if m + 1 == plan.micro_steps() {
                         let mut dep = chunk;
                         if ranks > 1 {
-                            dep = sim.add_task(
-                                TaskSpec::collective(
-                                    net,
-                                    coll.reduce_scatter(2 * elems) + overhead,
-                                )
-                                .with_label(format!("reduce-scatter[{bi}]"))
-                                .after(chunk),
+                            dep = ctx.reduce_scatter(
+                                &coll,
+                                2 * elems,
+                                overhead,
+                                format!("reduce-scatter[{bi}]"),
+                                chunk,
                             )?;
                         }
-                        let xfer = sim.add_task(
+                        let xfer = ctx.sim.add_task(
                             TaskSpec::transfer(
-                                d2h,
+                                ctx.d2h,
                                 cast.one_way_time(chip, shard(elems)) + overhead,
                             )
                             .with_label(format!("grad-out[{bi}]"))
@@ -196,84 +210,67 @@ pub fn simulate_with_nvme(
                         )?;
                         arrivals.push((bi, xfer));
                     }
-                }
-                last = Some(prev_chunk);
-            }
-
-            // STE sync, CPU optimizer, parameters stay on the CPU (they
-            // stream in next iteration) — only FP16 shard updates are
-            // written back to CPU-side parameter memory.
-            let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
-            let norm_sync = sim.add_task(
-                TaskSpec::compute(
-                    cpu,
-                    SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth)
-                        + overhead,
-                )
-                .with_label("global-norm-sync")
-                .after_all(all),
+                    Ok(())
+                },
             )?;
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            let mut prev_nvme: Option<TaskId> = None;
-            for &(bi, _) in &arrivals {
-                let elems = shard(buckets.bucket_elems(bi));
-                // NVMe tier: swap this bucket's optimizer states (12 bytes
-                // per element) in from NVMe before the step, back after.
-                let step_dep = if let Some(tier) = nvme {
-                    let mut spec = TaskSpec::transfer(
-                        nvme_res,
-                        tier.link.transfer_time(12 * elems) + overhead,
-                    )
-                    .with_label(format!("nvme-in[{bi}]"))
-                    .after(norm_sync);
-                    if let Some(p) = prev_nvme {
-                        spec = spec.after(p);
-                    }
-                    sim.add_task(spec)?
-                } else {
-                    norm_sync
-                };
-                let step = sim.add_task(
-                    TaskSpec::compute(
-                        cpu,
-                        pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems) + overhead,
-                    )
-                    .with_label(format!("step-cpu[{bi}]"))
-                    .after(step_dep),
-                )?;
-                if let Some(tier) = nvme {
-                    let out = sim.add_task(
-                        TaskSpec::transfer(
-                            nvme_res,
-                            tier.link.transfer_time(12 * elems) + overhead,
-                        )
+            last = Some(prev_chunk);
+        }
+
+        // STE sync, CPU optimizer, parameters stay on the CPU (they
+        // stream in next iteration) — only FP16 shard updates are
+        // written back to CPU-side parameter memory.
+        let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+        let norm_sync = ctx.sim.add_task(
+            TaskSpec::compute(
+                ctx.cpu,
+                SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth) + overhead,
+            )
+            .with_label("global-norm-sync")
+            .after_all(all),
+        )?;
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        let mut prev_nvme: Option<TaskId> = None;
+        for &(bi, _) in &arrivals {
+            let elems = shard(buckets.bucket_elems(bi));
+            // NVMe tier: swap this bucket's optimizer states (12 bytes
+            // per element) in from NVMe before the step, back after.
+            let step_dep = if let Some(tier) = nvme {
+                let mut spec =
+                    TaskSpec::transfer(nvme_res, tier.link.transfer_time(12 * elems) + overhead)
+                        .with_label(format!("nvme-in[{bi}]"))
+                        .after(norm_sync);
+                if let Some(p) = prev_nvme {
+                    spec = spec.after(p);
+                }
+                ctx.sim.add_task(spec)?
+            } else {
+                norm_sync
+            };
+            let step = ctx.sim.add_task(
+                TaskSpec::compute(
+                    ctx.cpu,
+                    pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems) + overhead,
+                )
+                .with_label(format!("step-cpu[{bi}]"))
+                .after(step_dep),
+            )?;
+            if let Some(tier) = nvme {
+                let out = ctx.sim.add_task(
+                    TaskSpec::transfer(nvme_res, tier.link.transfer_time(12 * elems) + overhead)
                         .with_label(format!("nvme-out[{bi}]"))
                         .after(step),
-                    )?;
-                    prev_nvme = Some(out);
-                    iter_end.push(out);
-                } else {
-                    iter_end.push(step);
-                }
+                )?;
+                prev_nvme = Some(out);
+                iter_end.push(out);
+            } else {
+                iter_end.push(step);
             }
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu).with_label("iter-gate").after_all(iter_end),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
         }
-        Ok(gates)
-    };
+        iters.close(&mut ctx, iter_end)?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
-    finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan)
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]
@@ -336,7 +333,10 @@ mod nvme_tests {
         // 80B: optimizer states (960 GB) exceed the 480 GB Grace DDR, but
         // fit a 4 TB NVMe array.
         let w = wl("80B", 8);
-        assert!(!simulate(&c, 1, &w).feasible(), "80B should not fit CPU-only");
+        assert!(
+            !simulate(&c, 1, &w).feasible(),
+            "80B should not fit CPU-only"
+        );
         let r = simulate_with_nvme(&c, 1, &w, Some(NvmeTier::default()));
         assert!(r.feasible(), "80B should fit with the NVMe tier");
     }

@@ -12,17 +12,18 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::casting::CastPlacement;
-use superoffload::costs::{
-    pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK,
-};
+use superoffload::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
 use superoffload::report::TrainReport;
-use superoffload::schedule::{finalize_report, CPU_USABLE, GPU_USABLE};
+use superoffload::system::{
+    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
+    STANDARD_RESOURCES,
+};
 
 use crate::common::ITERATIONS;
 
@@ -32,56 +33,62 @@ use crate::common::ITERATIONS;
 const OFFLOAD_BUCKET_BYTES: u64 = 32 * 1000 * 1000;
 
 /// Resource names of the ZeRO-Offload schedule, in registration order.
-pub const RESOURCES: [&str; 5] = ["gpu", "cpu", "c2c-d2h", "c2c-h2d", "fabric"];
+pub const RESOURCES: [&str; 5] = STANDARD_RESOURCES;
+
+/// ZeRO-Offload as an [`OffloadSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroOffload;
+
+impl OffloadSystem for ZeroOffload {
+    fn name(&self) -> &str {
+        "zero-offload"
+    }
+
+    fn simulate_traced(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<(TrainReport, Trace), Infeasible> {
+        simulate_traced(cluster, ranks, workload)
+    }
+}
 
 /// Simulates ZeRO-Offload on `ranks` GPUs (ZeRO-2 sharding across ranks,
 /// each rank offloading its shard's optimizer to its local CPU).
 pub fn simulate(cluster: &ClusterSpec, ranks: u32, workload: &Workload) -> TrainReport {
-    simulate_traced(cluster, ranks, workload).0
+    collapse(simulate_traced(cluster, ranks, workload), "zero-offload")
 }
 
 /// Like [`simulate`], additionally returning the execution trace for
-/// timeline inspection (the paper's Fig. 3 schedule diagram).
+/// timeline inspection (the paper's Fig. 3 schedule diagram), or the
+/// structured [`Infeasible`] reason when the workload cannot run.
 pub fn simulate_traced(
     cluster: &ClusterSpec,
     ranks: u32,
     workload: &Workload,
-) -> (TrainReport, Option<Trace>) {
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "zero-offload";
-    if !workload.global_batch.is_multiple_of(ranks) {
-        return (TrainReport::oom(system), None);
-    }
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
-    // GPU: full FP16 params + full FP16 grads + contiguous reduce buffer
-    // (the 6Ψ replication that caps ZeRO-Offload at ~15B on 96 GB).
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     // Full FP16 params + full FP16 grads + the contiguous reduce buffer
-    // (partitioned across ranks) — the replication that caps ZeRO-Offload
-    // near 13-15B on 96 GB regardless of rank count.
-    let gpu_resident = states.fp16_params
-        + states.fp16_grads
-        + states.fp16_grads / n
-        + 2 * OFFLOAD_BUCKET_BYTES;
-    if gpu_resident > gpu_cap {
-        return (TrainReport::oom(system), None);
-    }
+    // (partitioned across ranks) — the 6Ψ replication that caps
+    // ZeRO-Offload near 13-15B on 96 GB regardless of rank count.
+    let gpu_resident =
+        states.fp16_params + states.fp16_grads + states.fp16_grads / n + 2 * OFFLOAD_BUCKET_BYTES;
+    cap.fit_gpu(gpu_resident)?;
     let cpu_resident = states.optimizer_states() / n + 2 * OFFLOAD_BUCKET_BYTES;
-    if cpu_resident > cpu_cap {
-        return (TrainReport::oom(system), None);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return (TrainReport::oom(system), None);
-    };
+    cap.fit_cpu(cpu_resident)?;
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     let flops = TrainingFlops::for_iteration(
         &workload.config,
@@ -97,51 +104,35 @@ pub fn simulate_traced(
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource(RESOURCES[0]);
-    let cpu = sim.add_resource(RESOURCES[1]);
-    let d2h = sim.add_resource(RESOURCES[2]);
-    let h2d = sim.add_resource(RESOURCES[3]);
-    let net = sim.add_resource(RESOURCES[4]);
-
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..ITERATIONS {
-            let mut last: Option<TaskId> = None;
-            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
-            for m in 0..plan.micro_steps() {
-                let deps: Vec<TaskId> = prev_gate.into_iter().chain(last).collect();
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(deps),
-                )?;
-                let mut prev_chunk = fwd;
-                for bi in 0..buckets.num_buckets {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
+    let mut ctx = ScheduleCtx::standard();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..ITERATIONS {
+        let mut last: Option<TaskId> = None;
+        let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+        for m in 0..plan.micro_steps() {
+            let deps: Vec<TaskId> = iters.start_deps().into_iter().chain(last).collect();
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, deps)?;
+            let prev_chunk = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                fwd,
+                None,
+                |ctx, bi, elems, chunk| {
                     if m + 1 == plan.micro_steps() {
                         let mut dep = chunk;
                         if ranks > 1 {
-                            dep = sim.add_task(
-                                TaskSpec::collective(
-                                    net,
-                                    coll.reduce_scatter(2 * elems) + overhead,
-                                )
-                                .with_label(format!("reduce-scatter[{bi}]"))
-                                .after(chunk),
+                            dep = ctx.reduce_scatter(
+                                &coll,
+                                2 * elems,
+                                overhead,
+                                format!("reduce-scatter[{bi}]"),
+                                chunk,
                             )?;
                         }
-                        let xfer = sim.add_task(
+                        let xfer = ctx.sim.add_task(
                             TaskSpec::transfer(
-                                d2h,
+                                ctx.d2h,
                                 cast.one_way_time(chip, shard(elems)) + overhead,
                             )
                             .with_label(format!("grad-out[{bi}]"))
@@ -149,76 +140,59 @@ pub fn simulate_traced(
                         )?;
                         arrivals.push((bi, xfer));
                     }
-                }
-                last = Some(prev_chunk);
-            }
+                    Ok(())
+                },
+            )?;
+            last = Some(prev_chunk);
+        }
 
-            // STE: global gradient norm + NaN/Inf check over the full shard
-            // before any optimizer step may start (Fig. 3's gray block).
-            let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
-            let norm_sync = sim.add_task(
+        // STE: global gradient norm + NaN/Inf check over the full shard
+        // before any optimizer step may start (Fig. 3's gray block).
+        let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+        let norm_sync = ctx.sim.add_task(
+            TaskSpec::compute(
+                ctx.cpu,
+                SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth) + overhead,
+            )
+            .with_label("global-norm-sync")
+            .after_all(all),
+        )?;
+
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        for &(bi, _) in &arrivals {
+            let elems = shard(buckets.bucket_elems(bi));
+            let step = ctx.sim.add_task(
                 TaskSpec::compute(
-                    cpu,
-                    SimTime::from_secs((4 * shard(params)) as f64 / chip.cpu.mem_bandwidth)
+                    ctx.cpu,
+                    pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems)
+                        + cast.fused_optimizer_overhead(chip, elems)
                         + overhead,
                 )
-                .with_label("global-norm-sync")
-                .after_all(all),
+                .with_label(format!("step-cpu[{bi}]"))
+                .after(norm_sync),
             )?;
-
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            for &(bi, _) in &arrivals {
-                let elems = shard(buckets.bucket_elems(bi));
-                let step = sim.add_task(
-                    TaskSpec::compute(
-                        cpu,
-                        pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems)
-                            + cast.fused_optimizer_overhead(chip, elems)
-                            + overhead,
-                    )
-                    .with_label(format!("step-cpu[{bi}]"))
-                    .after(norm_sync),
-                )?;
-                let ret = sim.add_task(
-                    TaskSpec::transfer(h2d, cast.one_way_time(chip, elems) + overhead)
-                        .with_label(format!("param-in[{bi}]"))
-                        .after(step),
-                )?;
-                iter_end.push(ret);
-            }
-            // ZeRO-2: all-gather updated params across ranks.
-            let gate_dep: Vec<TaskId> = if ranks > 1 {
-                vec![sim.add_task(
-                    TaskSpec::collective(
-                        net,
-                        coll.all_gather(states.fp16_params / n) + overhead,
-                    )
+            let ret = ctx.sim.add_task(
+                TaskSpec::transfer(ctx.h2d, cast.one_way_time(chip, elems) + overhead)
+                    .with_label(format!("param-in[{bi}]"))
+                    .after(step),
+            )?;
+            iter_end.push(ret);
+        }
+        // ZeRO-2: all-gather updated params across ranks.
+        let gate_dep: Vec<TaskId> = if ranks > 1 {
+            vec![ctx.sim.add_task(
+                TaskSpec::collective(ctx.net, coll.all_gather(states.fp16_params / n) + overhead)
                     .with_label("allgather-params")
                     .after_all(iter_end),
-                )?]
-            } else {
-                iter_end
-            };
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu).with_label("iter-gate").after_all(gate_dep),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
-        }
-        Ok(gates)
-    };
+            )?]
+        } else {
+            iter_end
+        };
+        iters.close(&mut ctx, gate_dep)?;
+    }
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return (TrainReport::oom(system), None),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return (TrainReport::oom(system), None),
-    };
-    let report =
-        finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan);
-    (report, Some(trace))
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 #[cfg(test)]

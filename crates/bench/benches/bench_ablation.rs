@@ -14,11 +14,26 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_ablation");
     group.sample_size(10);
     let rows = [
-        ("baseline", SuperOffloadOptions::ablation(false, false, false, false)),
-        ("grace_adam", SuperOffloadOptions::ablation(true, false, false, false)),
-        ("sac", SuperOffloadOptions::ablation(true, true, false, false)),
-        ("stv", SuperOffloadOptions::ablation(true, true, true, false)),
-        ("repartition", SuperOffloadOptions::ablation(true, true, true, true)),
+        (
+            "baseline",
+            SuperOffloadOptions::ablation(false, false, false, false),
+        ),
+        (
+            "grace_adam",
+            SuperOffloadOptions::ablation(true, false, false, false),
+        ),
+        (
+            "sac",
+            SuperOffloadOptions::ablation(true, true, false, false),
+        ),
+        (
+            "stv",
+            SuperOffloadOptions::ablation(true, true, true, false),
+        ),
+        (
+            "repartition",
+            SuperOffloadOptions::ablation(true, true, true, true),
+        ),
     ];
     for (name, opts) in rows {
         group.bench_function(name, |b| {

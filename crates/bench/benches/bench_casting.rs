@@ -14,16 +14,15 @@ fn bench_casting(c: &mut Criterion) {
         let elems = mb * MIB / 4;
         for (name, strategy) in [
             ("gpu-cast-fp32", CastPlacement::GpuCastMoveFp32),
-            ("cpu-cast-fp16-pageable", CastPlacement::CpuCastMoveFp16Pageable),
+            (
+                "cpu-cast-fp16-pageable",
+                CastPlacement::CpuCastMoveFp16Pageable,
+            ),
             ("cpu-cast-fp16-fused", CastPlacement::CpuCastMoveFp16Fused),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, mb),
-                &elems,
-                |b, &elems| {
-                    b.iter(|| strategy.round_trip_time(&chip, elems));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, mb), &elems, |b, &elems| {
+                b.iter(|| strategy.round_trip_time(&chip, elems));
+            });
         }
     }
     group.finish();

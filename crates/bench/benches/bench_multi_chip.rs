@@ -1,39 +1,25 @@
 //! Fig. 11 benchmark: multi-Superchip schedules (4 and 16 GPUs) for
 //! SuperOffload + ZeRO-DP and the distributed baselines.
 
-use baselines::zero::ZeroStage;
-use baselines::{megatron, zero, zero_offload};
+use baselines::standard_registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llm_model::{ModelConfig, Workload};
 use superchip_sim::presets;
-use superoffload::schedule::SuperOffloadOptions;
-use superoffload::zero_dp;
+use superoffload_bench::experiments::FIG11_SYSTEMS;
 
 fn bench_multi_chip(c: &mut Criterion) {
+    let reg = standard_registry();
     let mut group = c.benchmark_group("fig11_multi_chip");
     group.sample_size(10);
     for (ranks, batch) in [(4u32, 16u32), (16, 128)] {
         let cluster = presets::gh200_nvl2_cluster(ranks / 2);
         let w = Workload::new(ModelConfig::by_name("10B").unwrap(), batch, 2048);
-        group.bench_with_input(
-            BenchmarkId::new("superoffload", ranks),
-            &w,
-            |b, w| {
-                b.iter(|| zero_dp::simulate_cluster(&cluster, ranks, w, &SuperOffloadOptions::default()));
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("megatron", ranks), &w, |b, w| {
-            b.iter(|| megatron::simulate(&cluster, ranks, w));
-        });
-        group.bench_with_input(BenchmarkId::new("zero-2", ranks), &w, |b, w| {
-            b.iter(|| zero::simulate(&cluster, ranks, w, ZeroStage::Two));
-        });
-        group.bench_with_input(BenchmarkId::new("zero-3", ranks), &w, |b, w| {
-            b.iter(|| zero::simulate(&cluster, ranks, w, ZeroStage::Three));
-        });
-        group.bench_with_input(BenchmarkId::new("zero-offload", ranks), &w, |b, w| {
-            b.iter(|| zero_offload::simulate(&cluster, ranks, w));
-        });
+        for sys_name in FIG11_SYSTEMS {
+            let sys = reg.expect(sys_name);
+            group.bench_with_input(BenchmarkId::new(sys_name, ranks), &w, |b, w| {
+                b.iter(|| sys.simulate(&cluster, ranks, w));
+            });
+        }
     }
     group.finish();
 }

@@ -2,34 +2,25 @@
 //! single Superchip (measures our simulator's own cost; the throughput
 //! numbers themselves come from `repro -- fig10`).
 
-use baselines::{common::single_chip_cluster, ddp, fsdp_offload, zero_infinity, zero_offload};
+use baselines::{common::single_chip_cluster, standard_registry};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llm_model::{ModelConfig, Workload};
 use superchip_sim::presets;
-use superoffload::schedule::{simulate_single_chip, SuperOffloadOptions};
+use superoffload_bench::experiments::FIG10_SYSTEMS;
 
 fn bench_single_chip(c: &mut Criterion) {
-    let chip = presets::gh200_chip();
-    let cluster = single_chip_cluster(&chip);
+    let cluster = single_chip_cluster(&presets::gh200_chip());
+    let reg = standard_registry();
     let mut group = c.benchmark_group("fig10_single_chip");
     group.sample_size(10);
     for name in ["1B", "5B", "13B"] {
         let w = Workload::new(ModelConfig::by_name(name).unwrap(), 8, 2048);
-        group.bench_with_input(BenchmarkId::new("superoffload", name), &w, |b, w| {
-            b.iter(|| simulate_single_chip(&chip, w, &SuperOffloadOptions::default()));
-        });
-        group.bench_with_input(BenchmarkId::new("zero-offload", name), &w, |b, w| {
-            b.iter(|| zero_offload::simulate(&cluster, 1, w));
-        });
-        group.bench_with_input(BenchmarkId::new("ddp", name), &w, |b, w| {
-            b.iter(|| ddp::simulate(&cluster, 1, w));
-        });
-        group.bench_with_input(BenchmarkId::new("zero-infinity", name), &w, |b, w| {
-            b.iter(|| zero_infinity::simulate(&cluster, 1, w));
-        });
-        group.bench_with_input(BenchmarkId::new("fsdp-offload", name), &w, |b, w| {
-            b.iter(|| fsdp_offload::simulate(&cluster, 1, w));
-        });
+        for sys_name in FIG10_SYSTEMS {
+            let sys = reg.expect(sys_name);
+            group.bench_with_input(BenchmarkId::new(sys_name, name), &w, |b, w| {
+                b.iter(|| sys.simulate(&cluster, 1, w));
+            });
+        }
     }
     group.finish();
 }

@@ -25,6 +25,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("numa", experiments::print_numa),
     ("bucket-sweep", experiments::print_bucket_sweep),
     ("pipeline", experiments::print_pipeline),
+    ("systems", experiments::print_systems),
 ];
 
 fn print_fig11_both() {
@@ -53,13 +54,10 @@ fn main() {
     } else {
         args.iter()
             .map(|a| {
-                EXPERIMENTS
-                    .iter()
-                    .find(|(n, _)| n == a)
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown experiment `{a}`; run with --help");
-                        std::process::exit(2)
-                    })
+                EXPERIMENTS.iter().find(|(n, _)| n == a).unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{a}`; run with --help");
+                    std::process::exit(2)
+                })
             })
             .collect()
     };

@@ -5,8 +5,7 @@
 //! comparable with the published numbers (see `EXPERIMENTS.md`).
 
 use baselines::common::single_chip_cluster;
-use baselines::zero::ZeroStage;
-use baselines::{ddp, fsdp_offload, megatron, zero, zero_infinity, zero_offload};
+use baselines::{standard_registry, zero_offload};
 use llm_model::workload::Workload;
 use llm_model::ModelConfig;
 use superchip_sim::prelude::*;
@@ -15,8 +14,8 @@ use superoffload::casting::CastPlacement;
 use superoffload::policy::flow_efficiency;
 use superoffload::report::TrainReport;
 use superoffload::schedule::{simulate_single_chip, SuperOffloadOptions};
+use superoffload::system::{Infeasible, SystemRegistry};
 use superoffload::ulysses::{max_sequence_length, simulate_ulysses, SequenceSystem};
-use superoffload::zero_dp;
 
 /// The default per-GPU batch/seq used by the single-chip experiments.
 pub const FIG10_BATCH: u32 = 8;
@@ -41,20 +40,24 @@ fn fmt(r: &TrainReport) -> String {
 
 /// Table 1: node-architecture comparison.
 pub fn table1() -> Vec<(String, f64, f64, u32, f64, f64, f64)> {
-    [presets::dgx2_chip(), presets::dgx_a100_chip(), presets::gh200_chip()]
-        .into_iter()
-        .map(|c| {
-            (
-                c.name.clone(),
-                c.cpu.mem_bandwidth / 1e9,
-                c.c2c.peak_bandwidth() / 1e9 * if c.name == "GH200" { 2.0 } else { 1.0 },
-                c.cpu.cores,
-                c.cpu.peak_flops / 1e12,
-                c.gpu.peak_flops / 1e12,
-                c.flops_ratio(),
-            )
-        })
-        .collect()
+    [
+        presets::dgx2_chip(),
+        presets::dgx_a100_chip(),
+        presets::gh200_chip(),
+    ]
+    .into_iter()
+    .map(|c| {
+        (
+            c.name.clone(),
+            c.cpu.mem_bandwidth / 1e9,
+            c.c2c.peak_bandwidth() / 1e9 * if c.name == "GH200" { 2.0 } else { 1.0 },
+            c.cpu.cores,
+            c.cpu.peak_flops / 1e12,
+            c.gpu.peak_flops / 1e12,
+            c.flops_ratio(),
+        )
+    })
+    .collect()
 }
 
 /// Prints Table 1.
@@ -176,19 +179,28 @@ pub fn print_fig7() {
 /// Fig. 9: round-trip time of the two casting strategies per tensor size.
 pub fn fig9() -> Vec<(u64, f64, f64, f64)> {
     let chip = presets::gh200_chip();
-    [MIB, 16 * MIB, 64 * MIB, 256 * MIB, 512 * MIB, GIB, 2 * GIB, 4 * GIB]
-        .into_iter()
-        .map(|bytes| {
-            let elems = bytes / 4;
-            let gpu = CastPlacement::GpuCastMoveFp32
-                .round_trip_time(&chip, elems)
-                .as_millis();
-            let cpu = CastPlacement::CpuCastMoveFp16Pageable
-                .round_trip_time(&chip, elems)
-                .as_millis();
-            (bytes, gpu, cpu, cpu / gpu)
-        })
-        .collect()
+    [
+        MIB,
+        16 * MIB,
+        64 * MIB,
+        256 * MIB,
+        512 * MIB,
+        GIB,
+        2 * GIB,
+        4 * GIB,
+    ]
+    .into_iter()
+    .map(|bytes| {
+        let elems = bytes / 4;
+        let gpu = CastPlacement::GpuCastMoveFp32
+            .round_trip_time(&chip, elems)
+            .as_millis();
+        let cpu = CastPlacement::CpuCastMoveFp16Pageable
+            .round_trip_time(&chip, elems)
+            .as_millis();
+        (bytes, gpu, cpu, cpu / gpu)
+    })
+    .collect()
 }
 
 /// Prints Fig. 9.
@@ -214,24 +226,50 @@ pub const FIG10_MODELS: [&str; 11] = [
     "1B", "2B", "3B", "4B", "5B", "8B", "10B", "13B", "15B", "20B", "25B",
 ];
 
-/// Fig. 10: single-Superchip throughput for the five systems.
-pub fn fig10() -> Vec<(String, [TrainReport; 5])> {
-    let chip = presets::gh200_chip();
-    let c = single_chip_cluster(&chip);
+/// Registry names of the systems in the Fig. 10 single-chip sweep, in
+/// column order. The last column is SuperOffload; the one before it is the
+/// ZeRO-Offload reference the speedup column compares against.
+pub const FIG10_SYSTEMS: [&str; 5] = [
+    "pytorch-ddp",
+    "fsdp-offload",
+    "zero-infinity",
+    "zero-offload",
+    "superoffload",
+];
+
+/// Registry names of the systems in the Fig. 11 multi-chip sweep.
+pub const FIG11_SYSTEMS: [&str; 5] = [
+    "megatron",
+    "zero-2",
+    "zero-3",
+    "zero-offload",
+    "superoffload",
+];
+
+/// Runs each named system from `reg` on the same workload, in order.
+fn sweep(
+    reg: &SystemRegistry,
+    names: &[&str],
+    cluster: &ClusterSpec,
+    ranks: u32,
+    w: &Workload,
+) -> Vec<TrainReport> {
+    names
+        .iter()
+        .map(|n| reg.expect(n).simulate(cluster, ranks, w))
+        .collect()
+}
+
+/// Fig. 10: single-Superchip throughput, one report per [`FIG10_SYSTEMS`]
+/// column.
+pub fn fig10() -> Vec<(String, Vec<TrainReport>)> {
+    let reg = standard_registry();
+    let c = single_chip_cluster(&presets::gh200_chip());
     FIG10_MODELS
         .iter()
         .map(|name| {
             let w = wl(name, FIG10_BATCH);
-            (
-                name.to_string(),
-                [
-                    ddp::simulate(&c, 1, &w),
-                    fsdp_offload::simulate(&c, 1, &w),
-                    zero_infinity::simulate(&c, 1, &w),
-                    zero_offload::simulate(&c, 1, &w),
-                    simulate_single_chip(&chip, &w, &SuperOffloadOptions::default()),
-                ],
-            )
+            (name.to_string(), sweep(&reg, &FIG10_SYSTEMS, &c, 1, &w))
         })
         .collect()
 }
@@ -243,28 +281,27 @@ pub fn print_fig10() {
         "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "model", "ddp", "fsdp-off", "zero-inf", "zero-off", "super", "vs zoff"
     );
-    for (name, [ddp_r, fsdp_r, zi_r, zo_r, so_r]) in fig10() {
+    for (name, reports) in fig10() {
+        let so_r = reports.last().expect("superoffload column");
+        let zo_r = &reports[reports.len() - 2];
         let speedup = if zo_r.feasible() {
             format!("{:.2}x", so_r.tflops / zo_r.tflops)
         } else {
             "-".into()
         };
-        println!(
-            "{name:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            fmt(&ddp_r),
-            fmt(&fsdp_r),
-            fmt(&zi_r),
-            fmt(&zo_r),
-            fmt(&so_r),
-            speedup
-        );
+        print!("{name:>5}");
+        for r in &reports {
+            print!(" {:>9}", fmt(r));
+        }
+        println!(" {speedup:>9}");
     }
 }
 
-/// Fig. 11: per-GPU throughput on 4 and 16 Superchips for Megatron,
-/// ZeRO-2, ZeRO-3, ZeRO-Offload, and SuperOffload.
-pub fn fig11(ranks: u32) -> Vec<(String, [TrainReport; 5])> {
+/// Fig. 11: per-GPU throughput on 4 and 16 Superchips, one report per
+/// [`FIG11_SYSTEMS`] column.
+pub fn fig11(ranks: u32) -> Vec<(String, Vec<TrainReport>)> {
     assert!(ranks == 4 || ranks == 16, "paper evaluates 4 and 16 GPUs");
+    let reg = standard_registry();
     let cluster = presets::gh200_nvl2_cluster(ranks / 2);
     let batch = if ranks == 4 { 16 } else { 128 };
     let models: &[&str] = if ranks == 4 {
@@ -278,13 +315,7 @@ pub fn fig11(ranks: u32) -> Vec<(String, [TrainReport; 5])> {
             let w = wl(name, batch);
             (
                 name.to_string(),
-                [
-                    megatron::simulate(&cluster, ranks, &w),
-                    zero::simulate(&cluster, ranks, &w, ZeroStage::Two),
-                    zero::simulate(&cluster, ranks, &w, ZeroStage::Three),
-                    zero_offload::simulate(&cluster, ranks, &w),
-                    zero_dp::simulate_cluster(&cluster, ranks, &w, &SuperOffloadOptions::default()),
-                ],
+                sweep(&reg, &FIG11_SYSTEMS, &cluster, ranks, &w),
             )
         })
         .collect()
@@ -298,15 +329,12 @@ pub fn print_fig11(ranks: u32) {
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "model", "megatron", "zero-2", "zero-3", "zero-off", "super"
     );
-    for (name, [mt, z2, z3, zo, so]) in fig11(ranks) {
-        println!(
-            "{name:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            fmt(&mt),
-            fmt(&z2),
-            fmt(&z3),
-            fmt(&zo),
-            fmt(&so)
-        );
+    for (name, reports) in fig11(ranks) {
+        print!("{name:>6}");
+        for r in &reports {
+            print!(" {:>9}", fmt(r));
+        }
+        println!();
     }
 }
 
@@ -323,9 +351,6 @@ pub type MfuLadder = Vec<(u64, Option<f64>, Option<f64>)>;
 /// One Fig. 12 row: `(model, ranks, ulysses max seq, so-ulysses max seq, MFU ladder)`.
 pub type Fig12Row = (String, u32, Option<u64>, Option<u64>, MfuLadder);
 
-/// A boxed simulation closure used by the Fig. 13 capacity search.
-pub type SystemFn = Box<dyn Fn(&ClusterSpec, u32, &Workload) -> TrainReport>;
-
 /// Fig. 12 rows: per (model, ranks): max sequence for both systems and MFU
 /// at a ladder of sequence lengths.
 pub fn fig12() -> Vec<Fig12Row> {
@@ -338,7 +363,14 @@ pub fn fig12() -> Vec<Fig12Row> {
 
     let mut rows = Vec::new();
     for (cfg, ranks) in [(&cfg13, 4u32), (&cfg13, 8), (&cfg30, 4), (&cfg30, 8)] {
-        let max_v = max_sequence_length(&cluster, ranks, cfg, SequenceSystem::Ulysses, ceiling, &opts);
+        let max_v = max_sequence_length(
+            &cluster,
+            ranks,
+            cfg,
+            SequenceSystem::Ulysses,
+            ceiling,
+            &opts,
+        );
         let max_s = max_sequence_length(
             &cluster,
             ranks,
@@ -377,7 +409,8 @@ pub fn print_fig12() {
     println!("# Fig. 12: max sequence length and MFU, Ulysses vs SuperOffload-Ulysses");
     for (model, ranks, max_v, max_s, ladder) in fig12() {
         let f = |x: Option<u64>| {
-            x.map(|v| format!("{}k", v / 1024)).unwrap_or_else(|| "OOM".into())
+            x.map(|v| format!("{}k", v / 1024))
+                .unwrap_or_else(|| "OOM".into())
         };
         let ratio = match (max_v, max_s) {
             (Some(v), Some(s)) => format!("{:.0}x", s as f64 / v as f64),
@@ -388,104 +421,124 @@ pub fn print_fig12() {
             f(max_v),
             f(max_s)
         );
-        println!("{:>8} {:>14} {:>14}", "seq", "ulysses MFU", "so-ulysses MFU");
+        println!(
+            "{:>8} {:>14} {:>14}",
+            "seq", "ulysses MFU", "so-ulysses MFU"
+        );
         for (s, v, o) in ladder {
             let p = |m: Option<f64>| {
-                m.map(|x| format!("{:.1}%", x * 100.0)).unwrap_or_else(|| "OOM".into())
+                m.map(|x| format!("{:.1}%", x * 100.0))
+                    .unwrap_or_else(|| "OOM".into())
             };
             println!("{:>7}k {:>14} {:>14}", s / 1024, p(v), p(o));
         }
     }
 }
 
-/// Fig. 13: largest trainable Appendix-A model per system at 1/4/16 chips.
-pub fn fig13() -> Vec<(String, [Option<String>; 3])> {
-    let systems: Vec<(String, SystemFn)> = vec![
-        (
-            "pytorch-ddp".into(),
-            Box::new(ddp::simulate),
-        ),
-        (
-            "megatron".into(),
-            Box::new(megatron::simulate),
-        ),
-        (
-            "zero-2".into(),
-            Box::new(|c, r, w| zero::simulate(c, r, w, ZeroStage::Two)),
-        ),
-        (
-            "zero-3".into(),
-            Box::new(|c, r, w| zero::simulate(c, r, w, ZeroStage::Three)),
-        ),
-        (
-            "zero-offload".into(),
-            Box::new(zero_offload::simulate),
-        ),
-        (
-            "zero-infinity".into(),
-            Box::new(zero_infinity::simulate),
-        ),
-        (
-            "superoffload".into(),
-            Box::new(|c, r, w| {
-                if r == 1 {
-                    simulate_single_chip(&c.node.chip, w, &SuperOffloadOptions::default())
-                } else {
-                    zero_dp::simulate_cluster(c, r, w, &SuperOffloadOptions::default())
-                }
-            }),
-        ),
-    ];
+/// One Fig. 13 cell: the largest feasible Appendix-A model at a rank
+/// count, plus the smallest infeasible model above it and the structured
+/// reason it does not fit.
+#[derive(Debug, Clone)]
+pub struct Fig13Cell {
+    /// Largest feasible model name, if any model fits.
+    pub best: Option<String>,
+    /// `(model, reason)` for the smallest model above `best` that fails.
+    pub blocker: Option<(String, Infeasible)>,
+}
 
-    systems
-        .into_iter()
-        .map(|(name, f)| {
-            let mut best: [Option<String>; 3] = [None, None, None];
-            for (slot, ranks) in [(0usize, 1u32), (1, 4), (2, 16)] {
-                let cluster = if ranks == 1 {
-                    single_chip_cluster(&presets::gh200_chip())
-                } else {
-                    presets::gh200_nvl2_cluster(ranks / 2)
-                };
-                let batch = match ranks {
-                    1 => FIG10_BATCH,
-                    4 => 16,
-                    _ => 128,
-                };
-                for cfg in ModelConfig::appendix_a() {
-                    let w = Workload::new(cfg.clone(), batch, SEQ);
-                    if f(&cluster, ranks, &w).feasible() {
-                        let better = best[slot]
-                            .as_ref()
-                            .and_then(|b| ModelConfig::by_name(b))
-                            .map(|b| cfg.param_count() > b.param_count())
-                            .unwrap_or(true);
-                        if better {
-                            best[slot] = Some(cfg.name.clone());
+/// The rank counts of the three Fig. 13 columns.
+pub const FIG13_RANKS: [u32; 3] = [1, 4, 16];
+
+/// One Fig. 13 column: walks every registered system up the (sorted)
+/// Appendix-A ladder at `ranks` chips, recording the largest feasible model
+/// and the structured reason the first larger model fails.
+pub fn fig13_column(ranks: u32) -> Vec<(String, Fig13Cell)> {
+    let reg = standard_registry();
+    let mut ladder = ModelConfig::appendix_a();
+    ladder.sort_by_key(|c| c.param_count());
+    let cluster = if ranks == 1 {
+        single_chip_cluster(&presets::gh200_chip())
+    } else {
+        presets::gh200_nvl2_cluster(ranks / 2)
+    };
+    let batch = match ranks {
+        1 => FIG10_BATCH,
+        4 => 16,
+        _ => 128,
+    };
+
+    reg.iter()
+        .map(|sys| {
+            let mut cell = Fig13Cell {
+                best: None,
+                blocker: None,
+            };
+            for cfg in &ladder {
+                let w = Workload::new(cfg.clone(), batch, SEQ);
+                match sys.simulate_traced(&cluster, ranks, &w) {
+                    Ok((r, _)) if r.feasible() => {
+                        cell.best = Some(cfg.name.clone());
+                        cell.blocker = None;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        if cell.blocker.is_none() {
+                            cell.blocker = Some((cfg.name.clone(), e));
                         }
                     }
                 }
             }
-            (name, best)
+            (sys.name().to_string(), cell)
         })
         .collect()
 }
 
-/// Prints Fig. 13.
+/// Fig. 13: largest trainable Appendix-A model per registered system at
+/// 1/4/16 chips, with the structured [`Infeasible`] reason for the first
+/// model size that no longer fits.
+pub fn fig13() -> Vec<(String, [Fig13Cell; 3])> {
+    let columns: Vec<Vec<(String, Fig13Cell)>> =
+        FIG13_RANKS.iter().map(|&r| fig13_column(r)).collect();
+    columns[0]
+        .iter()
+        .enumerate()
+        .map(|(i, (name, cell1))| {
+            (
+                name.clone(),
+                [
+                    cell1.clone(),
+                    columns[1][i].1.clone(),
+                    columns[2][i].1.clone(),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Prints Fig. 13, including why each system's next model size up fails.
 pub fn print_fig13() {
+    let rows = fig13();
     println!("# Fig. 13: largest trainable model (Appendix-A ladder)");
     println!(
-        "{:<16} {:>8} {:>8} {:>8}",
+        "{:<22} {:>8} {:>8} {:>8}",
         "system", "1 chip", "4 chips", "16 chips"
     );
-    for (name, best) in fig13() {
-        let p = |x: &Option<String>| x.clone().unwrap_or_else(|| "-".into());
+    for (name, cells) in &rows {
+        let p = |c: &Fig13Cell| c.best.clone().unwrap_or_else(|| "-".into());
         println!(
-            "{name:<16} {:>8} {:>8} {:>8}",
-            p(&best[0]),
-            p(&best[1]),
-            p(&best[2])
+            "{name:<22} {:>8} {:>8} {:>8}",
+            p(&cells[0]),
+            p(&cells[1]),
+            p(&cells[2])
         );
+    }
+    println!("\n## why the next size up does not fit");
+    for (name, cells) in &rows {
+        for (cell, ranks) in cells.iter().zip(FIG13_RANKS) {
+            if let Some((model, reason)) = &cell.blocker {
+                println!("{name} @ {ranks} chip(s): {model} infeasible: {reason}");
+            }
+        }
     }
 }
 
@@ -496,23 +549,43 @@ pub fn table2() -> Vec<(&'static str, TrainReport)> {
     vec![
         (
             "baseline (all off)",
-            simulate_single_chip(&chip, &w, &SuperOffloadOptions::ablation(false, false, false, false)),
+            simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::ablation(false, false, false, false),
+            ),
         ),
         (
             "+ GraceAdam",
-            simulate_single_chip(&chip, &w, &SuperOffloadOptions::ablation(true, false, false, false)),
+            simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::ablation(true, false, false, false),
+            ),
         ),
         (
             "+ SAC",
-            simulate_single_chip(&chip, &w, &SuperOffloadOptions::ablation(true, true, false, false)),
+            simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::ablation(true, true, false, false),
+            ),
         ),
         (
             "+ STV",
-            simulate_single_chip(&chip, &w, &SuperOffloadOptions::ablation(true, true, true, false)),
+            simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::ablation(true, true, true, false),
+            ),
         ),
         (
             "+ bucket repart.",
-            simulate_single_chip(&chip, &w, &SuperOffloadOptions::ablation(true, true, true, true)),
+            simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::ablation(true, true, true, true),
+            ),
         ),
     ]
 }
@@ -535,7 +608,11 @@ pub fn print_table2() {
 /// Fig. 15: SuperOffload utilization in the Fig. 4 setting.
 pub fn fig15() -> (f64, f64) {
     let chip = presets::gh200_chip();
-    let r = simulate_single_chip(&chip, &wl("13B", FIG10_BATCH), &SuperOffloadOptions::default());
+    let r = simulate_single_chip(
+        &chip,
+        &wl("13B", FIG10_BATCH),
+        &SuperOffloadOptions::default(),
+    );
     (r.gpu_util, r.cpu_util)
 }
 
@@ -543,43 +620,41 @@ pub fn fig15() -> (f64, f64) {
 pub fn print_fig15() {
     let (gpu, cpu) = fig15();
     println!("# Fig. 15: SuperOffload utilization (13B, batch {FIG10_BATCH})");
-    println!("gpu busy {:.1}% (idle {:.1}%)", gpu * 100.0, (1.0 - gpu) * 100.0);
+    println!(
+        "gpu busy {:.1}% (idle {:.1}%)",
+        gpu * 100.0,
+        (1.0 - gpu) * 100.0
+    );
     println!("cpu busy {:.1}%", cpu * 100.0);
     println!("(paper: near-complete GPU utilization; compare Fig. 4's 40-50% idle)");
 }
-
 
 /// Fig. 3 (schedule diagram): the ZeRO-Offload timeline at 5B, rendered as
 /// an ASCII Gantt chart plus a Chrome-trace JSON for Perfetto.
 pub fn fig3_timeline() -> Option<(String, String)> {
     let chip = presets::gh200_chip();
     let c = single_chip_cluster(&chip);
-    let (report, trace) = zero_offload::simulate_traced(&c, 1, &wl("5B", FIG10_BATCH));
-    let trace = trace?;
+    let (_report, trace) = zero_offload::simulate_traced(&c, 1, &wl("5B", FIG10_BATCH)).ok()?;
     let ascii = trace.render_ascii(100);
-    let chrome = superchip_sim::chrome_trace::to_chrome_trace(
-        &trace,
-        &baselines::zero_offload::RESOURCES,
-    );
-    let _ = report;
+    let chrome =
+        superchip_sim::chrome_trace::to_chrome_trace(&trace, &baselines::zero_offload::RESOURCES);
     Some((ascii, chrome))
 }
 
 /// Fig. 8 (schedule diagram): the SuperOffload STV timeline at 5B.
 pub fn fig8_timeline() -> Option<(String, String)> {
     let chip = presets::gh200_chip();
-    let (report, trace) = superoffload::schedule::simulate_single_chip_traced(
+    let (_report, trace) = superoffload::schedule::simulate_single_chip_traced(
         &chip,
         &wl("5B", FIG10_BATCH),
         &SuperOffloadOptions::default(),
-    );
-    let trace = trace?;
+    )
+    .ok()?;
     let ascii = trace.render_ascii(100);
     let chrome = superchip_sim::chrome_trace::to_chrome_trace(
         &trace,
         &superoffload::schedule::SINGLE_CHIP_RESOURCES,
     );
-    let _ = report;
     Some((ascii, chrome))
 }
 
@@ -721,6 +796,28 @@ pub fn pipeline_rows() -> Vec<(u32, f64, f64, f64)> {
         .collect()
 }
 
+/// Prints the system registry: every simulated system the experiment
+/// drivers iterate, with a smoke-test report on a small single-chip
+/// workload so each row proves the system actually runs.
+pub fn print_systems() {
+    let reg = standard_registry();
+    let c = single_chip_cluster(&presets::gh200_chip());
+    let w = wl("3B", FIG10_BATCH);
+    println!(
+        "# Registered systems ({}); smoke workload: 3B, 1 chip",
+        reg.len()
+    );
+    println!("{:<22} {:>10}", "system", "TFLOPS");
+    for sys in reg.iter() {
+        match sys.simulate_traced(&c, 1, &w) {
+            Ok((r, _)) => println!("{:<22} {:>10.1}", sys.name(), r.tflops),
+            Err(e) => println!("{:<22} {:>10} ({e})", sys.name(), "-"),
+        }
+    }
+    println!("(to add a system: implement OffloadSystem and register it in");
+    println!(" baselines::registry::standard_registry — see DESIGN.md §6)");
+}
+
 /// Prints the pipeline-parallelism characterization.
 pub fn print_pipeline() {
     println!("# Pipeline parallelism (background system, 4 stages, 10B)");
@@ -790,9 +887,11 @@ mod tests {
 
     #[test]
     fn fig10_superoffload_wins_everywhere_it_fits() {
-        for (name, [ddp_r, fsdp_r, zi_r, zo_r, so_r]) in fig10() {
+        for (name, reports) in fig10() {
+            let (so_r, others) = reports.split_last().expect("superoffload column");
+            assert_eq!(so_r.system, "superoffload");
             assert!(so_r.feasible(), "{name}: SuperOffload OOM");
-            for other in [&ddp_r, &fsdp_r, &zi_r, &zo_r] {
+            for other in others {
                 if other.feasible() {
                     assert!(
                         so_r.tflops >= other.tflops * 0.99,
@@ -803,6 +902,23 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fig13_blockers_are_structured() {
+        // Every system tops out below the largest Appendix-A model on one
+        // chip and must report a typed reason for the first size that fails.
+        for (name, cell) in fig13_column(1) {
+            assert!(cell.best.is_some(), "{name}: nothing fits on one chip");
+            let (model, reason) = cell
+                .blocker
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name}: no blocker on one chip"));
+            assert!(
+                !format!("{reason}").is_empty(),
+                "{name}: blocker for {model} has an empty reason"
+            );
         }
     }
 
@@ -830,7 +946,11 @@ mod tests {
     #[test]
     fn numa_scatter_hurts_conventional_but_adaptive_recovers() {
         let (colocated, remote, remote_adaptive) = numa_penalty();
-        assert!(colocated / remote > 1.3, "penalty {:.2}", colocated / remote);
+        assert!(
+            colocated / remote > 1.3,
+            "penalty {:.2}",
+            colocated / remote
+        );
         assert!(remote_adaptive > remote, "adaptive should route around");
     }
 
@@ -840,7 +960,12 @@ mod tests {
         let (so_ascii, so_json) = fig8_timeline().expect("superoffload timeline");
         // The ZeRO-Offload GPU row has visible idle gaps; SuperOffload's is
         // nearly solid.
-        let gpu_row = |s: &str| s.lines().find(|l| l.starts_with("gpu")).unwrap().to_string();
+        let gpu_row = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("gpu"))
+                .unwrap()
+                .to_string()
+        };
         let idle = |row: &str| row.chars().filter(|&c| c == '.').count();
         assert!(idle(&gpu_row(&zo_ascii)) > 3 * idle(&gpu_row(&so_ascii)));
         assert!(zo_json.contains("global-norm-sync"));

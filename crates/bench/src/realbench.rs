@@ -42,7 +42,9 @@ impl AdamLatencyRow {
 fn time_stepper(stepper: &dyn AdamStepper, params: usize, reps: u32) -> f64 {
     let cfg = AdamConfig::default();
     let mut p: Vec<f32> = (0..params).map(|i| (i as f32 * 0.001).sin()).collect();
-    let g: Vec<f32> = (0..params).map(|i| (i as f32 * 0.002).cos() * 0.01).collect();
+    let g: Vec<f32> = (0..params)
+        .map(|i| (i as f32 * 0.002).cos() * 0.01)
+        .collect();
     let mut state = AdamState::new(params);
     // Warm up caches and page in the buffers.
     stepper.step(&cfg, 1, &mut p, &g, &mut state);
@@ -128,11 +130,7 @@ pub struct TrainingRun {
 impl TrainingRun {
     /// Rollback rate over the stable phase (after `warmup` iterations).
     pub fn stable_rollback_rate(&self, warmup: u64) -> f64 {
-        let stable_rollbacks = self
-            .rollback_iters
-            .iter()
-            .filter(|&&i| i >= warmup)
-            .count() as f64;
+        let stable_rollbacks = self.rollback_iters.iter().filter(|&&i| i >= warmup).count() as f64;
         stable_rollbacks / (self.iterations.saturating_sub(warmup).max(1)) as f64
     }
 }
@@ -203,7 +201,10 @@ pub fn print_fig14() {
     println!(
         "rollbacks: {} total; warm-up (first 10%): {}; stable-phase rate {:.2}%",
         run.rollback_iters.len(),
-        run.rollback_iters.iter().filter(|&&i| i < iters / 10).count(),
+        run.rollback_iters
+            .iter()
+            .filter(|&&i| i < iters / 10)
+            .count(),
         run.stable_rollback_rate(iters / 10) * 100.0
     );
     println!(
@@ -213,7 +214,10 @@ pub fn print_fig14() {
     // Coarse ASCII curve: bucket losses into 20 columns.
     let cols = 20usize;
     let per = (iters as usize).div_ceil(cols);
-    println!("\n{:>10} {:>8}  loss (o = rollback in window)", "iters", "loss");
+    println!(
+        "\n{:>10} {:>8}  loss (o = rollback in window)",
+        "iters", "loss"
+    );
     for c in 0..cols {
         let lo = (c * per) as u64;
         let hi = ((c + 1) * per) as u64;
@@ -282,7 +286,14 @@ mod tests {
         assert!(early >= late, "early {early} vs late {late}");
         // Loss decreases.
         let first = run.losses.first().unwrap().1;
-        let last_avg: f32 = run.losses.iter().rev().take(5).map(|&(_, l)| l).sum::<f32>() / 5.0;
+        let last_avg: f32 = run
+            .losses
+            .iter()
+            .rev()
+            .take(5)
+            .map(|&(_, l)| l)
+            .sum::<f32>()
+            / 5.0;
         assert!(last_avg < first, "loss {first} -> {last_avg}");
     }
 }

@@ -40,7 +40,10 @@ impl AdamConfig {
         assert!((0.0..1.0).contains(&self.beta1), "beta1 must be in [0, 1)");
         assert!((0.0..1.0).contains(&self.beta2), "beta2 must be in [0, 1)");
         assert!(self.eps > 0.0, "eps must be positive");
-        assert!(self.weight_decay >= 0.0, "weight decay must be non-negative");
+        assert!(
+            self.weight_decay >= 0.0,
+            "weight decay must be non-negative"
+        );
     }
 }
 
@@ -100,7 +103,11 @@ pub trait AdamStepper: fmt::Debug + Send + Sync {
 fn check_lengths(params: &[f32], grads: &[f32], state: &AdamState, step: u64) {
     assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
     assert_eq!(params.len(), state.m.len(), "params/moment length mismatch");
-    assert_eq!(params.len(), state.v.len(), "params/variance length mismatch");
+    assert_eq!(
+        params.len(),
+        state.v.len(),
+        "params/variance length mismatch"
+    );
     assert!(step >= 1, "Adam step counter is 1-based");
 }
 
@@ -190,7 +197,15 @@ impl AdamStepper for CpuAdam {
     ) {
         check_lengths(params, grads, state, step);
         let (inv_bc1, inv_bc2_sqrt) = bias_corrections(cfg, step);
-        fused_chunk(cfg, params, grads, &mut state.m, &mut state.v, inv_bc1, inv_bc2_sqrt);
+        fused_chunk(
+            cfg,
+            params,
+            grads,
+            &mut state.m,
+            &mut state.v,
+            inv_bc1,
+            inv_bc2_sqrt,
+        );
     }
 }
 
@@ -296,7 +311,12 @@ impl AdamStepper for GraceAdam {
             for ((ps, gs), (ms, vs)) in params
                 .chunks_mut(self.tile)
                 .zip(grads.chunks(self.tile))
-                .zip(state.m.chunks_mut(self.tile).zip(state.v.chunks_mut(self.tile)))
+                .zip(
+                    state
+                        .m
+                        .chunks_mut(self.tile)
+                        .zip(state.v.chunks_mut(self.tile)),
+                )
             {
                 fused_chunk(cfg, ps, gs, ms, vs, inv_bc1, inv_bc2_sqrt);
             }

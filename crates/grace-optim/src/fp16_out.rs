@@ -105,8 +105,15 @@ mod tests {
         let grads = vec![0.0f32; n];
         let mut state = AdamState::new(n);
         let mut out = vec![F16::ZERO; n];
-        let report =
-            step_with_fp16_out(&GraceAdam::default(), &cfg, 1, &mut master, &grads, &mut state, &mut out);
+        let report = step_with_fp16_out(
+            &GraceAdam::default(),
+            &cfg,
+            1,
+            &mut master,
+            &grads,
+            &mut state,
+            &mut out,
+        );
         assert_eq!(report.nonfinite_outputs, n);
         assert!(!report.all_finite());
         assert!(out.iter().all(|h| h.is_infinite()));

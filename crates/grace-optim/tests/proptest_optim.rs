@@ -1,6 +1,8 @@
 //! Property-based tests of optimizer numerics, clipping, and rollback.
 
-use grace_optim::adam::{reference_step, AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam};
+use grace_optim::adam::{
+    reference_step, AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam,
+};
 use grace_optim::clip::{apply_clip, clip_factor, global_grad_norm};
 use grace_optim::mixed_precision::LossScaler;
 use grace_optim::rollback::RollbackGuard;

@@ -1,12 +1,10 @@
 //! Model configurations (paper Appendix A, Table 4).
 
-use serde::{Deserialize, Serialize};
-
 /// A GPT/LLaMA-style transformer configuration.
 ///
 /// The paper varies hidden dimension and depth to hit target parameter
 /// counts; [`ModelConfig::appendix_a`] reproduces its exact table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Display name ("5B", "25B", ...).
     pub name: String,
@@ -141,7 +139,10 @@ mod tests {
     fn by_name_lookup() {
         assert!(ModelConfig::by_name("13B").is_some());
         assert!(ModelConfig::by_name("nope").is_none());
-        assert_eq!(ModelConfig::by_name("5B").unwrap(), ModelConfig::appendix_a_5b());
+        assert_eq!(
+            ModelConfig::by_name("5B").unwrap(),
+            ModelConfig::appendix_a_5b()
+        );
     }
 
     #[test]

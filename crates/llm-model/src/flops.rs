@@ -9,12 +9,10 @@
 //! matching §5.2 ("we exclude recomputation volume when calculating
 //! TFLOPS").
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ModelConfig;
 
 /// FLOP totals for one training iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingFlops {
     /// Forward-pass FLOPs (parameter GEMMs + attention).
     pub forward: f64,

@@ -6,12 +6,10 @@
 //! variance). This module makes every component explicit so offloading
 //! policies can place them individually.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ModelConfig;
 
 /// Byte sizes of each model-state component for a Ψ-parameter model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelStateMemory {
     /// FP16 working parameters (2Ψ).
     pub fp16_params: u64,
@@ -71,7 +69,7 @@ impl ModelStateMemory {
 /// hidden` bytes of half-precision activations per token per transformer
 /// block (attention scores never materialized). This calibrates to the
 /// paper's example: a 7B model at 1M tokens needs ≈2 TB of activations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActivationMemory {
     /// Bytes of activations that must be live for the backward pass.
     pub bytes: u64,
@@ -100,9 +98,8 @@ impl ActivationMemory {
         let tokens = micro_batch as u64 * seq;
         let boundary = 2 * tokens * cfg.hidden as u64; // fp16 block inputs
         let one_layer_full = tokens * cfg.hidden as u64 * ACT_BYTES_PER_HIDDEN;
-        let bytes = boundary * cfg.layers as u64
-            + one_layer_full
-            + Self::embedding_bytes(cfg, tokens);
+        let bytes =
+            boundary * cfg.layers as u64 + one_layer_full + Self::embedding_bytes(cfg, tokens);
         ActivationMemory {
             // For very shallow models the boundary overhead can exceed the
             // savings; a runtime would simply not checkpoint then.

@@ -68,19 +68,19 @@ pub struct ParamView {
 /// Per-layer forward cache (inputs and statistics needed by backward).
 #[derive(Debug)]
 struct BlockCache {
-    x_in: Tensor,                 // block input [T, h]
+    x_in: Tensor, // block input [T, h]
     ln1_mean: Vec<f32>,
     ln1_inv_std: Vec<f32>,
-    ln1_out: Tensor,              // [T, h]
-    qkv: Tensor,                  // [T, 3h]
-    head_probs: Vec<Tensor>,      // per head [T, T]
-    attn_concat: Tensor,          // [T, h]
-    x_mid: Tensor,                // after attention residual [T, h]
+    ln1_out: Tensor,         // [T, h]
+    qkv: Tensor,             // [T, 3h]
+    head_probs: Vec<Tensor>, // per head [T, T]
+    attn_concat: Tensor,     // [T, h]
+    x_mid: Tensor,           // after attention residual [T, h]
     ln2_mean: Vec<f32>,
     ln2_inv_std: Vec<f32>,
-    ln2_out: Tensor,              // [T, h]
-    mlp_pre: Tensor,              // [T, 4h] pre-GELU
-    mlp_act: Tensor,              // [T, 4h] post-GELU
+    ln2_out: Tensor, // [T, h]
+    mlp_pre: Tensor, // [T, 4h] pre-GELU
+    mlp_act: Tensor, // [T, 4h] post-GELU
 }
 
 /// Full forward cache for one sequence.
@@ -131,21 +131,51 @@ impl GptModel {
         let std = 0.02f32;
         let resid_std = std / ((2 * cfg.layers) as f32).sqrt();
 
-        model.register("wte", &[cfg.vocab, h], |r| r.normal_scaled(0.0, std), &mut rng);
-        model.register("wpe", &[cfg.max_seq, h], |r| r.normal_scaled(0.0, std), &mut rng);
+        model.register(
+            "wte",
+            &[cfg.vocab, h],
+            |r| r.normal_scaled(0.0, std),
+            &mut rng,
+        );
+        model.register(
+            "wpe",
+            &[cfg.max_seq, h],
+            |r| r.normal_scaled(0.0, std),
+            &mut rng,
+        );
         for l in 0..cfg.layers {
             let p = |s: &str| format!("block{l}.{s}");
             model.register(&p("ln1.gamma"), &[h], |_| 1.0, &mut rng);
             model.register(&p("ln1.beta"), &[h], |_| 0.0, &mut rng);
-            model.register(&p("attn.wqkv"), &[h, 3 * h], |r| r.normal_scaled(0.0, std), &mut rng);
+            model.register(
+                &p("attn.wqkv"),
+                &[h, 3 * h],
+                |r| r.normal_scaled(0.0, std),
+                &mut rng,
+            );
             model.register(&p("attn.bqkv"), &[3 * h], |_| 0.0, &mut rng);
-            model.register(&p("attn.wo"), &[h, h], |r| r.normal_scaled(0.0, resid_std), &mut rng);
+            model.register(
+                &p("attn.wo"),
+                &[h, h],
+                |r| r.normal_scaled(0.0, resid_std),
+                &mut rng,
+            );
             model.register(&p("attn.bo"), &[h], |_| 0.0, &mut rng);
             model.register(&p("ln2.gamma"), &[h], |_| 1.0, &mut rng);
             model.register(&p("ln2.beta"), &[h], |_| 0.0, &mut rng);
-            model.register(&p("mlp.w1"), &[h, 4 * h], |r| r.normal_scaled(0.0, std), &mut rng);
+            model.register(
+                &p("mlp.w1"),
+                &[h, 4 * h],
+                |r| r.normal_scaled(0.0, std),
+                &mut rng,
+            );
             model.register(&p("mlp.b1"), &[4 * h], |_| 0.0, &mut rng);
-            model.register(&p("mlp.w2"), &[4 * h, h], |r| r.normal_scaled(0.0, resid_std), &mut rng);
+            model.register(
+                &p("mlp.w2"),
+                &[4 * h, h],
+                |r| r.normal_scaled(0.0, resid_std),
+                &mut rng,
+            );
             model.register(&p("mlp.b2"), &[h], |_| 0.0, &mut rng);
         }
         model.register("lnf.gamma", &[h], |_| 1.0, &mut rng);
@@ -232,7 +262,10 @@ impl GptModel {
     fn add_grad_tensor(&mut self, name: &str, g: &Tensor) {
         let v = &self.views[self.index[name]];
         debug_assert_eq!(v.len, g.len(), "gradient size mismatch for {name}");
-        for (dst, src) in self.grads[v.offset..v.offset + v.len].iter_mut().zip(g.data()) {
+        for (dst, src) in self.grads[v.offset..v.offset + v.len]
+            .iter_mut()
+            .zip(g.data())
+        {
             *dst += src;
         }
     }
@@ -251,7 +284,11 @@ impl GptModel {
     /// # Errors
     /// Returns [`TensorError`] on shape violations (e.g. sequence longer
     /// than `max_seq`, token id out of vocabulary).
-    pub fn forward(&self, tokens: &[usize], targets: &[usize]) -> Result<ForwardCache, TensorError> {
+    pub fn forward(
+        &self,
+        tokens: &[usize],
+        targets: &[usize],
+    ) -> Result<ForwardCache, TensorError> {
         let t = tokens.len();
         let h = self.cfg.hidden;
         if t == 0 || t > self.cfg.max_seq {
@@ -315,9 +352,17 @@ impl GptModel {
         let d = self.cfg.head_dim();
         let scale = 1.0 / (d as f32).sqrt();
 
-        let (ln1_out, ln1_mean, ln1_inv_std) =
-            layer_norm(x, self.slice_of(&p("ln1.gamma")), self.slice_of(&p("ln1.beta")), 1e-5)?;
-        let qkv = linear(&ln1_out, &self.tensor_of(&p("attn.wqkv")), self.slice_of(&p("attn.bqkv")))?;
+        let (ln1_out, ln1_mean, ln1_inv_std) = layer_norm(
+            x,
+            self.slice_of(&p("ln1.gamma")),
+            self.slice_of(&p("ln1.beta")),
+            1e-5,
+        )?;
+        let qkv = linear(
+            &ln1_out,
+            &self.tensor_of(&p("attn.wqkv")),
+            self.slice_of(&p("attn.bqkv")),
+        )?;
 
         // Per-head causal attention.
         let mut head_probs = Vec::with_capacity(heads);
@@ -336,7 +381,11 @@ impl GptModel {
             head_probs.push(probs);
         }
         let attn_concat = Tensor::from_vec(concat, &[t, h])?;
-        let attn_out = linear(&attn_concat, &self.tensor_of(&p("attn.wo")), self.slice_of(&p("attn.bo")))?;
+        let attn_out = linear(
+            &attn_concat,
+            &self.tensor_of(&p("attn.wo")),
+            self.slice_of(&p("attn.bo")),
+        )?;
         let x_mid = x.add(&attn_out)?;
 
         let (ln2_out, ln2_mean, ln2_inv_std) = layer_norm(
@@ -345,9 +394,17 @@ impl GptModel {
             self.slice_of(&p("ln2.beta")),
             1e-5,
         )?;
-        let mlp_pre = linear(&ln2_out, &self.tensor_of(&p("mlp.w1")), self.slice_of(&p("mlp.b1")))?;
+        let mlp_pre = linear(
+            &ln2_out,
+            &self.tensor_of(&p("mlp.w1")),
+            self.slice_of(&p("mlp.b1")),
+        )?;
         let mlp_act = gelu(&mlp_pre);
-        let mlp_out = linear(&mlp_act, &self.tensor_of(&p("mlp.w2")), self.slice_of(&p("mlp.b2")))?;
+        let mlp_out = linear(
+            &mlp_act,
+            &self.tensor_of(&p("mlp.w2")),
+            self.slice_of(&p("mlp.b2")),
+        )?;
         let out = x_mid.add(&mlp_out)?;
 
         Ok((
@@ -514,7 +571,11 @@ impl GptModel {
     ///
     /// # Errors
     /// Propagates [`TensorError`] from [`GptModel::forward`].
-    pub fn forward_backward(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32, TensorError> {
+    pub fn forward_backward(
+        &mut self,
+        tokens: &[usize],
+        targets: &[usize],
+    ) -> Result<f32, TensorError> {
         let cache = self.forward(tokens, targets)?;
         self.backward(&cache)?;
         Ok(cache.loss)
@@ -667,7 +728,11 @@ mod tests {
         let cache = m.forward(&tokens, &targets).unwrap();
         assert!(cache.loss.is_finite());
         // At init, predictions are near-uniform: loss ≈ ln(vocab).
-        assert!((cache.loss - (64f32).ln()).abs() < 0.5, "loss {}", cache.loss);
+        assert!(
+            (cache.loss - (64f32).ln()).abs() < 0.5,
+            "loss {}",
+            cache.loss
+        );
     }
 
     #[test]
@@ -777,11 +842,17 @@ mod tests {
         let eval = m.evaluate(&batch).unwrap();
         let fwd = m.forward(&batch[0].0, &batch[0].1).unwrap().loss;
         assert_eq!(eval, fwd);
-        assert!(m.grads().iter().all(|&g| g == 0.0), "evaluate must not touch grads");
+        assert!(
+            m.grads().iter().all(|&g| g == 0.0),
+            "evaluate must not touch grads"
+        );
         // Perplexity of uniform predictions ≈ vocab size.
         let ppl = m.perplexity(&batch).unwrap();
         assert!((ppl - eval.exp()).abs() < 1e-3);
-        assert!((40.0..90.0).contains(&ppl), "untrained ppl ≈ vocab, got {ppl}");
+        assert!(
+            (40.0..90.0).contains(&ppl),
+            "untrained ppl ≈ vocab, got {ppl}"
+        );
     }
 
     #[test]

@@ -10,13 +10,11 @@
 //! implements exactly that search given the bytes a system keeps resident on
 //! the GPU.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ModelConfig;
 use crate::memory::ActivationMemory;
 
 /// A requested training workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     /// Model configuration.
     pub config: ModelConfig,
@@ -44,7 +42,7 @@ impl Workload {
 }
 
 /// How a system executes a workload on one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionPlan {
     /// Sequences per forward/backward pass.
     pub micro_batch: u32,

@@ -1,8 +1,8 @@
 //! Property-based tests of model accounting and the miniature GPT.
 
 use llm_model::config::ModelConfig;
-use llm_model::memory::{ActivationMemory, ModelStateMemory};
 use llm_model::flops::{forward_flops, TrainingFlops};
+use llm_model::memory::{ActivationMemory, ModelStateMemory};
 use llm_model::transformer::{GptConfig, GptModel};
 use llm_model::SyntheticPile;
 use proptest::prelude::*;

@@ -40,7 +40,10 @@ fn deterministic_stream_is_learned_to_near_zero_loss() {
     );
     let mut pile = SyntheticPile::new(32, 17).with_signal(1.0);
     let (first, last) = train_sgd(&mut model, &mut pile, 300, 0.1);
-    assert!(first > 3.0, "untrained loss should be near ln(32)=3.47: {first}");
+    assert!(
+        first > 3.0,
+        "untrained loss should be near ln(32)=3.47: {first}"
+    );
     assert!(last < 0.15, "deterministic rule not learned: loss {last}");
 }
 

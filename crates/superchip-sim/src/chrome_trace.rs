@@ -8,7 +8,7 @@
 //! timeline figures (Fig. 3, Fig. 8).
 //!
 //! The JSON is emitted directly (the format is flat and fixed) to keep the
-//! crate's dependency surface at `serde` only.
+//! crate free of serialization dependencies.
 
 use std::fmt::Write as _;
 
@@ -61,7 +61,11 @@ pub fn to_chrome_trace(trace: &Trace, resource_names: &[&str]) -> String {
     }
     for (tid, _) in resource_names.iter().enumerate() {
         for iv in trace.intervals_on(ResourceId(tid)) {
-            let label = if iv.label.is_empty() { "task" } else { &iv.label };
+            let label = if iv.label.is_empty() {
+                "task"
+            } else {
+                &iv.label
+            };
             events.push(format!(
                 r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"kind":"{}"}}}}"#,
                 escape(label),
@@ -112,19 +116,22 @@ mod tests {
     fn events_carry_timing_and_rows() {
         let json = to_chrome_trace(&sample(), &["gpu", "cpu"]);
         // bwd: row 0, 2000 us duration starting at 0.
-        assert!(json.contains(r#""name":"bwd","cat":"compute","ph":"X","ts":0,"dur":2000,"pid":0,"tid":0"#));
+        assert!(json.contains(
+            r#""name":"bwd","cat":"compute","ph":"X","ts":0,"dur":2000,"pid":0,"tid":0"#
+        ));
         // step: row 1, starts when bwd ends.
-        assert!(json.contains(r#""name":"step","cat":"compute","ph":"X","ts":2000,"dur":1000"#) || json.contains(r#""ts":2000.0000000000002"#));
+        assert!(
+            json.contains(r#""name":"step","cat":"compute","ph":"X","ts":2000,"dur":1000"#)
+                || json.contains(r#""ts":2000.0000000000002"#)
+        );
     }
 
     #[test]
     fn labels_are_escaped() {
         let mut sim = Simulator::new();
         let gpu = sim.add_resource("g\"pu");
-        sim.add_task(
-            TaskSpec::compute(gpu, SimTime::from_millis(1.0)).with_label("a\"b\\c\nd"),
-        )
-        .unwrap();
+        sim.add_task(TaskSpec::compute(gpu, SimTime::from_millis(1.0)).with_label("a\"b\\c\nd"))
+            .unwrap();
         let trace = sim.run().unwrap();
         let json = to_chrome_trace(&trace, &["g\"pu"]);
         assert!(json.contains(r#"a\"b\\c\nd"#));

@@ -7,8 +7,8 @@
 //! resource is free; resources execute one task at a time, in the order tasks
 //! become ready (ties broken by insertion order, so runs are deterministic).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::error::SimError;
@@ -430,9 +430,7 @@ mod tests {
         let c = sim
             .add_task(TaskSpec::compute(cpu, ms(3.0)).after(a))
             .unwrap();
-        let d = sim
-            .add_task(TaskSpec::sync(gpu).after(b).after(c))
-            .unwrap();
+        let d = sim.add_task(TaskSpec::sync(gpu).after(b).after(c)).unwrap();
         let trace = sim.run().unwrap();
         assert_eq!(trace.end_time(d).unwrap(), ms(6.0));
         assert_eq!(trace.makespan(), ms(6.0));

@@ -12,12 +12,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// The physical technology of a link (affects presets, not the cost model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LinkKind {
     /// NVLink Chip-2-Chip (GPU↔CPU inside a Superchip).
@@ -47,7 +45,7 @@ impl fmt::Display for LinkKind {
 
 /// An alpha-beta bandwidth curve: fixed per-message latency plus a
 /// byte-proportional term at peak bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandwidthCurve {
     /// Peak (asymptotic) uni-directional bandwidth in bytes/second.
     pub peak_bytes_per_sec: f64,
@@ -106,7 +104,7 @@ impl BandwidthCurve {
 /// The paper (§4.5) observes that a transfer-then-cast pipeline stages
 /// through an *unpinned* temporary buffer on the Grace CPU, falling off the
 /// DMA fast path. [`Link::transfer_time_pageable`] models that penalty.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Technology of the link.
     pub kind: LinkKind,

@@ -152,10 +152,7 @@ mod tests {
     fn over_free_is_invalid() {
         let mut pool = MemoryPool::new("ddr", GIB);
         pool.allocate(1024).unwrap();
-        assert!(matches!(
-            pool.free(2048),
-            Err(SimError::InvalidFree { .. })
-        ));
+        assert!(matches!(pool.free(2048), Err(SimError::InvalidFree { .. })));
     }
 
     #[test]

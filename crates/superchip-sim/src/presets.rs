@@ -173,7 +173,12 @@ mod tests {
 
     #[test]
     fn all_presets_validate() {
-        for chip in [gh200_chip(), gh200_nvl2_chip(), dgx2_chip(), dgx_a100_chip()] {
+        for chip in [
+            gh200_chip(),
+            gh200_nvl2_chip(),
+            dgx2_chip(),
+            dgx_a100_chip(),
+        ] {
             chip.validate().unwrap();
         }
     }

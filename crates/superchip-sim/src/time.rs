@@ -28,7 +28,10 @@ impl SimTime {
     /// # Panics
     /// Panics if `secs` is NaN or negative (simulated time is monotone).
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be finite and non-negative, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
         SimTime(secs)
     }
 
@@ -191,9 +194,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs(3.0),
+        let mut v = [
+            SimTime::from_secs(3.0),
             SimTime::ZERO,
-            SimTime::from_secs(1.5)];
+            SimTime::from_secs(1.5),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(3.0));

@@ -1,14 +1,12 @@
 //! Hardware topology: compute devices, Superchips, nodes, and clusters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimError;
 use crate::link::{BandwidthCurve, Link, LinkKind};
 use crate::memory::MemoryPool;
 use crate::time::SimTime;
 
 /// A compute device (a GPU or a CPU) with its attached memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputeDevice {
     /// Human-readable name ("H100", "Grace").
     pub name: String,
@@ -80,7 +78,7 @@ impl ComputeDevice {
 ///
 /// An unbound process may land on a different Superchip's Grace CPU, forcing
 /// GPU↔CPU traffic across the inter-Superchip fabric instead of NVLink-C2C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NumaBinding {
     /// Process pinned to the local Grace CPU (SuperOffload's behaviour).
     #[default]
@@ -90,7 +88,7 @@ pub enum NumaBinding {
 }
 
 /// One Superchip: a GPU, a CPU, and the chip-to-chip interconnect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipSpec {
     /// Name of the chip ("GH200").
     pub name: String,
@@ -133,7 +131,7 @@ impl ChipSpec {
 
 /// A node containing `chip_count` identical Superchips joined by an
 /// intra-node link (NVLink on GH200-NVL2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// The chip replicated within the node.
     pub chip: ChipSpec,
@@ -156,7 +154,7 @@ impl NodeSpec {
 }
 
 /// A cluster of identical nodes joined by an inter-node fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// The node replicated across the cluster.
     pub node: NodeSpec,

@@ -195,7 +195,12 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trace: {} tasks, makespan {}", self.intervals.len(), self.makespan)?;
+        writeln!(
+            f,
+            "trace: {} tasks, makespan {}",
+            self.intervals.len(),
+            self.makespan
+        )?;
         for stats in self.all_stats() {
             writeln!(
                 f,

@@ -64,9 +64,9 @@ impl CastPlacement {
     /// (non-zero only for the fused variant).
     pub fn fused_optimizer_overhead(self, chip: &ChipSpec, elems: u64) -> SimTime {
         match self {
-            CastPlacement::CpuCastMoveFp16Fused => SimTime::from_secs(
-                (elems * CAST_BYTES_PER_ELEM) as f64 / chip.cpu.mem_bandwidth,
-            ),
+            CastPlacement::CpuCastMoveFp16Fused => {
+                SimTime::from_secs((elems * CAST_BYTES_PER_ELEM) as f64 / chip.cpu.mem_bandwidth)
+            }
             _ => SimTime::ZERO,
         }
     }

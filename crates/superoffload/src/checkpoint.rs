@@ -130,7 +130,9 @@ impl Checkpoint {
         let m = read_vec(r)?;
         let v = read_vec(r)?;
         if m.len() != params.len() || v.len() != params.len() {
-            return Err(CheckpointError::Malformed("moment/parameter length mismatch"));
+            return Err(CheckpointError::Malformed(
+                "moment/parameter length mismatch",
+            ));
         }
         Ok(Checkpoint {
             params,
@@ -146,7 +148,8 @@ impl Checkpoint {
     /// Serializes to an in-memory buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32 + 12 * self.params.len());
-        self.write_to(&mut buf).expect("Vec<u8> writes are infallible");
+        self.write_to(&mut buf)
+            .expect("Vec<u8> writes are infallible");
         buf
     }
 

@@ -79,15 +79,9 @@ pub fn pipeline_tax_bytes(optimizer: OptimizerImpl) -> u64 {
 /// `optimizer` plus the surrounding pipeline sweeps. Schedule builders use
 /// this; Table 3 microbenchmarks use [`OptimizerImpl::step_time`] (kernel
 /// only).
-pub fn pipeline_step_time(
-    optimizer: OptimizerImpl,
-    cpu: &ComputeDevice,
-    params: u64,
-) -> SimTime {
+pub fn pipeline_step_time(optimizer: OptimizerImpl, cpu: &ComputeDevice, params: u64) -> SimTime {
     optimizer.step_time(cpu, params)
-        + SimTime::from_secs(
-            (params * pipeline_tax_bytes(optimizer)) as f64 / cpu.mem_bandwidth,
-        )
+        + SimTime::from_secs((params * pipeline_tax_bytes(optimizer)) as f64 / cpu.mem_bandwidth)
 }
 
 /// Time for a GPU-resident optimizer step over `params` parameters

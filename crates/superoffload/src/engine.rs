@@ -233,7 +233,11 @@ impl SyncEngine {
     /// # Panics
     /// Panics if the checkpoint's parameter count differs from the model's.
     pub fn restore(&mut self, ckpt: &crate::checkpoint::Checkpoint) {
-        assert_eq!(ckpt.params.len(), self.model.num_params(), "checkpoint shape mismatch");
+        assert_eq!(
+            ckpt.params.len(),
+            self.model.num_params(),
+            "checkpoint shape mismatch"
+        );
         self.model.params_mut().copy_from_slice(&ckpt.params);
         self.state.m.copy_from_slice(&ckpt.m);
         self.state.v.copy_from_slice(&ckpt.v);
@@ -266,7 +270,10 @@ impl SyncEngine {
             *g *= inv;
         }
         let ranges = bucket_ranges(grads.len(), self.cfg.buckets);
-        let partials: Vec<f64> = ranges.iter().map(|r| sum_of_squares(&grads[r.clone()])).collect();
+        let partials: Vec<f64> = ranges
+            .iter()
+            .map(|r| sum_of_squares(&grads[r.clone()]))
+            .collect();
         let norm = norm_from_partials(&partials);
         let factor = clip_factor(norm, self.cfg.max_grad_norm);
         apply_clip(&mut grads, factor);
@@ -357,7 +364,11 @@ impl StvEngine {
     /// # Panics
     /// Panics if the checkpoint's parameter count differs from the model's.
     pub fn restore(&mut self, ckpt: &crate::checkpoint::Checkpoint) {
-        assert_eq!(ckpt.params.len(), self.model.num_params(), "checkpoint shape mismatch");
+        assert_eq!(
+            ckpt.params.len(),
+            self.model.num_params(),
+            "checkpoint shape mismatch"
+        );
         self.model.params_mut().copy_from_slice(&ckpt.params);
         self.state.m.copy_from_slice(&ckpt.m);
         self.state.v.copy_from_slice(&ckpt.v);

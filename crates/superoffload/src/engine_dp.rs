@@ -67,11 +67,7 @@ fn reduced_gradients(
 
     let mut results: Vec<RankResult> = (0..ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for ((rank, replica), slot) in replicas
-            .iter_mut()
-            .enumerate()
-            .zip(results.iter_mut())
-        {
+        for ((rank, replica), slot) in replicas.iter_mut().enumerate().zip(results.iter_mut()) {
             let chunk = &batch[rank * per..(rank + 1) * per];
             scope.spawn(move || {
                 *slot = Some(rank_gradients(replica, chunk, scale, global, precision));
@@ -207,8 +203,12 @@ impl DpSyncEngine {
     /// Propagates [`TensorError`] from forward/backward.
     pub fn train_step(&mut self, batch: &[Sample]) -> Result<StepOutcome, TensorError> {
         let scale = self.core.scaler.scale();
-        let (loss, mut grads) =
-            reduced_gradients(&mut self.core.replicas, batch, scale, self.core.cfg.precision)?;
+        let (loss, mut grads) = reduced_gradients(
+            &mut self.core.replicas,
+            batch,
+            scale,
+            self.core.cfg.precision,
+        )?;
 
         let overflow = grads.iter().any(|g| !g.is_finite());
         if overflow {
@@ -288,8 +288,12 @@ impl DpStvEngine {
     /// Propagates [`TensorError`] from forward/backward.
     pub fn train_step(&mut self, batch: &[Sample]) -> Result<StepOutcome, TensorError> {
         let scale = self.core.scaler.scale();
-        let (loss, mut grads) =
-            reduced_gradients(&mut self.core.replicas, batch, scale, self.core.cfg.precision)?;
+        let (loss, mut grads) = reduced_gradients(
+            &mut self.core.replicas,
+            batch,
+            scale,
+            self.core.cfg.precision,
+        )?;
         let n = grads.len();
         let ranges = shard_ranges(n, self.core.replicas.len());
         let speculative_step = self.core.step + 1;
@@ -298,7 +302,12 @@ impl DpStvEngine {
         let guards: Vec<RollbackGuard> = ranges
             .iter()
             .map(|r| {
-                RollbackGuard::capture(self.core.replicas[0].params(), &self.core.state, r.start, r.len())
+                RollbackGuard::capture(
+                    self.core.replicas[0].params(),
+                    &self.core.state,
+                    r.start,
+                    r.len(),
+                )
             })
             .collect();
         let inv = 1.0 / scale;

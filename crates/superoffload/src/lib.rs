@@ -41,18 +41,20 @@ pub mod policy;
 pub mod report;
 pub mod sadfg;
 pub mod schedule;
+pub mod system;
 pub mod trainer;
 pub mod ulysses;
 pub mod ulysses_numeric;
 pub mod zero_dp;
 
 pub use bucket::BucketPlan;
-pub use checkpoint::Checkpoint;
 pub use casting::CastPlacement;
+pub use checkpoint::Checkpoint;
 pub use costs::OptimizerImpl;
 pub use engine::{StvEngine, StvStats, SyncEngine};
 pub use engine_dp::{DpStvEngine, DpSyncEngine};
 pub use policy::WeightPolicy;
 pub use report::TrainReport;
 pub use schedule::{simulate_single_chip, SuperOffloadOptions};
+pub use system::{Infeasible, OffloadSystem, SuperOffload, SystemRegistry};
 pub use trainer::{Discipline, Trainer};

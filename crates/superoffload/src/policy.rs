@@ -116,7 +116,10 @@ mod tests {
         let e1 = flow_efficiency(1, 1024, 450e9, peak);
         let e4 = flow_efficiency(4, 1024, 450e9, peak);
         let e16 = flow_efficiency(16, 1024, 450e9, peak);
-        assert!(e1 < FLOW_EFFICIENCY_TARGET, "batch 1 should be inefficient: {e1}");
+        assert!(
+            e1 < FLOW_EFFICIENCY_TARGET,
+            "batch 1 should be inefficient: {e1}"
+        );
         assert!(e4 >= 0.55, "batch 4 should be near/above target: {e4}");
         assert!(e16 > e4 && e4 > e1);
     }
@@ -161,7 +164,10 @@ mod tests {
         let chip = presets::gh200_chip();
         let wl = Workload::new(ModelConfig::appendix_a_5b(), 1, 256 * 1024);
         let policy = choose_policy(&chip, &wl, 0);
-        assert!(matches!(policy, WeightPolicy::Flow { .. }), "got {policy:?}");
+        assert!(
+            matches!(policy, WeightPolicy::Flow { .. }),
+            "got {policy:?}"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl SaDfg {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, bytes: u64) {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "edge endpoint out of range");
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "edge endpoint out of range"
+        );
         self.edges.push(OpEdge { from, to, bytes });
     }
 
@@ -128,7 +131,11 @@ impl SaDfg {
     /// # Panics
     /// Panics if `placement.len() != nodes.len()`.
     pub fn evaluate(&self, chip: &ChipSpec, placement: &[Device]) -> PlacementCost {
-        assert_eq!(placement.len(), self.nodes.len(), "placement arity mismatch");
+        assert_eq!(
+            placement.len(),
+            self.nodes.len(),
+            "placement arity mismatch"
+        );
         let mut gpu_busy = SimTime::ZERO;
         let mut cpu_busy = SimTime::ZERO;
         for (node, &dev) in self.nodes.iter().zip(placement) {
@@ -242,12 +249,11 @@ pub fn build_iteration_graph(
             kind: OpKind::OptimizerStep,
             // Optimizer is bandwidth-bound on both devices.
             gpu_time: crate::costs::gpu_optimizer_time(&chip.gpu, params_per_layer),
-            cpu_time: crate::costs::OptimizerImpl::GraceAdam
-                .step_time(&chip.cpu, params_per_layer),
+            cpu_time: crate::costs::OptimizerImpl::GraceAdam.step_time(&chip.cpu, params_per_layer),
         });
         let _ = opt_flops;
         g.add_edge(bwd_ids[i], step, 4 * params_per_layer); // fp32 grads
-        // Updated parameters feed the next iteration's forward.
+                                                            // Updated parameters feed the next iteration's forward.
         g.add_edge(step, fwd_ids[l as usize], 4 * params_per_layer);
     }
     g

@@ -29,6 +29,7 @@ use crate::costs::{
 };
 use crate::policy::{choose_policy, WeightPolicy};
 use crate::report::TrainReport;
+use crate::system::{Capacity, Infeasible, IterationBuilder, ScheduleCtx};
 
 /// Fraction of GPU memory usable for model data (the rest is CUDA context,
 /// fragmentation, and framework workspace).
@@ -106,28 +107,39 @@ impl SuperOffloadOptions {
 /// Simulates SuperOffload on a single Superchip.
 ///
 /// Returns [`TrainReport::oom`] when the workload does not fit under any
-/// execution plan.
+/// execution plan; [`simulate_single_chip_traced`] reports the structured
+/// reason instead.
 pub fn simulate_single_chip(
     chip: &ChipSpec,
     workload: &Workload,
     opts: &SuperOffloadOptions,
 ) -> TrainReport {
-    simulate_single_chip_traced(chip, workload, opts).0
+    crate::system::collapse(
+        simulate_single_chip_traced(chip, workload, opts),
+        "superoffload",
+    )
 }
 
 /// Resource names of the single-chip schedule, in registration (tid) order —
 /// pass to [`superchip_sim::chrome_trace::to_chrome_trace`].
-pub const SINGLE_CHIP_RESOURCES: [&str; 5] =
-    ["gpu", "cpu", "c2c-d2h", "c2c-h2d", "cpu-validator"];
+pub const SINGLE_CHIP_RESOURCES: [&str; 6] = [
+    "gpu",
+    "cpu",
+    "c2c-d2h",
+    "c2c-h2d",
+    "fabric",
+    "cpu-validator",
+];
 
 /// Like [`simulate_single_chip`], additionally returning the execution
-/// trace of the winning configuration (None when infeasible) for timeline
-/// inspection (ASCII Gantt or Chrome-trace export).
+/// trace of the winning configuration for timeline inspection (ASCII Gantt
+/// or Chrome-trace export), or the structured [`Infeasible`] reason when no
+/// configuration fits.
 pub fn simulate_single_chip_traced(
     chip: &ChipSpec,
     workload: &Workload,
     opts: &SuperOffloadOptions,
-) -> (TrainReport, Option<Trace>) {
+) -> Result<(TrainReport, Trace), Infeasible> {
     match opts.retained_buckets {
         Some(_) => simulate_fixed(chip, workload, opts),
         None => {
@@ -178,23 +190,32 @@ pub fn simulate_single_chip_traced(
             candidates.sort_unstable();
             candidates.dedup();
 
-            let mut best: Option<(TrainReport, Option<Trace>)> = None;
+            let mut best: Option<(TrainReport, Trace)> = None;
+            let mut first_err: Option<Infeasible> = None;
             for n in candidates {
                 let fixed = SuperOffloadOptions {
                     retained_buckets: Some(n),
                     cast: Some(cast),
                     ..*opts
                 };
-                let result = simulate_fixed(chip, workload, &fixed);
-                let better = match &best {
-                    None => true,
-                    Some((b, _)) => result.0.feasible() && result.0.tflops > b.tflops,
-                };
-                if better {
-                    best = Some(result);
+                match simulate_fixed(chip, workload, &fixed) {
+                    Ok(result) => {
+                        let better = match &best {
+                            None => true,
+                            Some((b, _)) => result.0.tflops > b.tflops,
+                        };
+                        if better {
+                            best = Some(result);
+                        }
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
-            best.unwrap_or_else(|| (TrainReport::oom("superoffload"), None))
+            // The candidate list is never empty (it always contains 0), so
+            // an empty `best` implies a recorded error.
+            best.ok_or_else(|| first_err.expect("infeasible grid records an error"))
         }
     }
 }
@@ -203,7 +224,7 @@ fn simulate_fixed(
     chip: &ChipSpec,
     workload: &Workload,
     opts: &SuperOffloadOptions,
-) -> (TrainReport, Option<Trace>) {
+) -> Result<(TrainReport, Trace), Infeasible> {
     let system = "superoffload";
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
@@ -218,8 +239,7 @@ fn simulate_fixed(
     let plan_buckets = BucketPlan::new(params, opts.bucket_bytes, retained);
 
     // --- Memory planning -------------------------------------------------
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
 
     // Staging: double-buffered gradient-out and param-in buckets (FP32).
     let staging = 4 * opts.bucket_bytes;
@@ -228,27 +248,19 @@ fn simulate_fixed(
     let weight_policy = opts
         .weight_policy
         .unwrap_or_else(|| choose_policy(chip, workload, reserved));
-    let resident_weights =
-        (states.fp16_params as f64 * weight_policy.resident_fraction()) as u64;
+    let resident_weights = (states.fp16_params as f64 * weight_policy.resident_fraction()) as u64;
 
     let gpu_resident = resident_weights + reserved;
-    if gpu_resident > gpu_cap {
-        return (TrainReport::oom(system), None);
-    }
+    cap.fit_gpu(gpu_resident)?;
 
     // CPU holds FP32 master + moments for CPU buckets, plus the streamed
     // FP16 weights when flowing, plus pinned transfer pools.
     let cpu_bucket_elems: u64 = params - plan_buckets.retained_elems();
-    let streamed_weights =
-        (states.fp16_params as f64 * weight_policy.streamed_fraction()) as u64;
+    let streamed_weights = (states.fp16_params as f64 * weight_policy.streamed_fraction()) as u64;
     let cpu_resident = 12 * cpu_bucket_elems + streamed_weights + staging;
-    if cpu_resident > cpu_cap {
-        return (TrainReport::oom(system), None);
-    }
+    cap.fit_cpu(cpu_resident)?;
 
-    let Some(plan) = ExecutionPlan::best(workload, gpu_cap - gpu_resident) else {
-        return (TrainReport::oom(system), None);
-    };
+    let plan = cap.plan(workload, gpu_resident)?;
 
     // --- Cost inputs ------------------------------------------------------
     let flops = TrainingFlops::for_iteration(
@@ -261,90 +273,71 @@ fn simulate_fixed(
     let overhead = SimTime::from_secs(opts.op_overhead_secs);
 
     // --- Task graph -------------------------------------------------------
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource(SINGLE_CHIP_RESOURCES[0]);
-    let cpu = sim.add_resource(SINGLE_CHIP_RESOURCES[1]);
-    let d2h = sim.add_resource(SINGLE_CHIP_RESOURCES[2]);
-    let h2d = sim.add_resource(SINGLE_CHIP_RESOURCES[3]);
-    let cpu_val = sim.add_resource(SINGLE_CHIP_RESOURCES[4]);
+    let mut ctx = ScheduleCtx::standard();
+    let cpu_val = ctx.add_resource(SINGLE_CHIP_RESOURCES[5]);
 
-    let b = plan_buckets.num_buckets;
     let micro = plan.micro_steps();
 
     // Weight streaming per pass (flow policy): bytes over h2d per micro-step.
     let streamed_frac = weight_policy.streamed_fraction();
     let stream_bytes_per_pass = (states.fp16_params as f64 * streamed_frac) as u64;
 
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates_local = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _iter in 0..opts.iterations {
-            let gate_dep = prev_gate;
-            let mut iter_end_deps: Vec<TaskId> = Vec::new();
-            let mut last_bwd_chunk: Option<TaskId> = None;
-            let mut grad_arrivals: Vec<(u32, TaskId)> = Vec::new();
+    let mut iters = IterationBuilder::new();
+    for _iter in 0..opts.iterations {
+        let mut iter_end_deps: Vec<TaskId> = Vec::new();
+        let mut last_bwd_chunk: Option<TaskId> = None;
+        let mut grad_arrivals: Vec<(u32, TaskId)> = Vec::new();
 
-            for m in 0..micro {
-                // Forward (with optional weight streaming fetch).
-                let mut fwd_dep: Vec<TaskId> = gate_dep.into_iter().collect();
-                if let Some(prev) = last_bwd_chunk {
-                    fwd_dep.push(prev);
-                }
-                if stream_bytes_per_pass > 0 {
-                    let fetch = sim.add_task(
-                        TaskSpec::transfer(
-                            h2d,
-                            chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
-                        )
-                        .with_label("weight-fetch-fwd")
-                        .after_all(fwd_dep.iter().copied()),
-                    )?;
-                    fwd_dep.push(fetch);
-                }
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(fwd_dep.iter().copied()),
+        for m in 0..micro {
+            // Forward (with optional weight streaming fetch).
+            let mut fwd_dep: Vec<TaskId> = iters.start_deps();
+            if let Some(prev) = last_bwd_chunk {
+                fwd_dep.push(prev);
+            }
+            if stream_bytes_per_pass > 0 {
+                let fetch = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
+                    )
+                    .with_label("weight-fetch-fwd")
+                    .after_all(fwd_dep.iter().copied()),
                 )?;
+                fwd_dep.push(fetch);
+            }
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, fwd_dep)?;
 
-                // Backward, chunked by bucket (grads appear bucket by bucket,
-                // in reverse parameter order).
-                let mut bwd_fetch: Option<TaskId> = None;
-                if stream_bytes_per_pass > 0 {
-                    bwd_fetch = Some(sim.add_task(
+            // Backward, chunked by bucket (grads appear bucket by bucket,
+            // in reverse parameter order).
+            let mut bwd_fetch: Option<TaskId> = None;
+            if stream_bytes_per_pass > 0 {
+                bwd_fetch = Some(
+                    ctx.sim.add_task(
                         TaskSpec::transfer(
-                            h2d,
+                            ctx.h2d,
                             chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
                         )
                         .with_label("weight-fetch-bwd")
                         .after(fwd),
-                    )?);
-                }
-                let mut prev_chunk = fwd;
-                for bi in 0..b {
-                    let elems = plan_buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let mut spec = TaskSpec::compute(
-                        gpu,
-                        compute.bwd_per_micro * frac + overhead,
-                    )
-                    .with_label(format!("bwd[{bi}]"))
-                    .after(prev_chunk);
-                    if let Some(f) = bwd_fetch {
-                        spec = spec.after(f);
-                    }
-                    let chunk = sim.add_task(spec)?;
-                    prev_chunk = chunk;
-
+                    )?,
+                );
+            }
+            let last = ctx.backward_chunks(
+                &plan_buckets,
+                compute.bwd_per_micro,
+                overhead,
+                fwd,
+                bwd_fetch,
+                |ctx, bi, elems, chunk| {
                     // Gradient swap-out for CPU buckets, every micro-step
                     // (accumulation happens CPU-side in FP32).
                     if !plan_buckets.is_retained(bi) {
                         let xfer_time = match cast {
                             CastPlacement::GpuCastMoveFp32 => {
                                 // Cast on GPU, then pinned FP32 move.
-                                let c = sim.add_task(
+                                let c = ctx.sim.add_task(
                                     TaskSpec::cast(
-                                        gpu,
+                                        ctx.gpu,
                                         SimTime::from_secs(
                                             (elems * 6) as f64 / chip.gpu.mem_bandwidth,
                                         ) + overhead,
@@ -361,18 +354,17 @@ fn simulate_fixed(
                                 (chip.c2c.transfer_time(2 * elems), chunk)
                             }
                         };
-                        let mut xfer = sim.add_task(
-                            TaskSpec::transfer(d2h, xfer_time.0 + overhead)
+                        let mut xfer = ctx.sim.add_task(
+                            TaskSpec::transfer(ctx.d2h, xfer_time.0 + overhead)
                                 .with_label(format!("grad-out[{bi}]"))
                                 .after(xfer_time.1),
                         )?;
                         if cast == CastPlacement::CpuCastMoveFp16Pageable {
-                            xfer = sim.add_task(
+                            xfer = ctx.sim.add_task(
                                 TaskSpec::cast(
-                                    cpu,
-                                    SimTime::from_secs(
-                                        (elems * 6) as f64 / chip.cpu.mem_bandwidth,
-                                    ) + overhead,
+                                    ctx.cpu,
+                                    SimTime::from_secs((elems * 6) as f64 / chip.cpu.mem_bandwidth)
+                                        + overhead,
                                 )
                                 .with_label(format!("cast-cpu[{bi}]"))
                                 .after(xfer),
@@ -380,9 +372,9 @@ fn simulate_fixed(
                         }
                         if m + 1 < micro {
                             // Accumulate into FP32 CPU gradients.
-                            let acc = sim.add_task(
+                            let acc = ctx.sim.add_task(
                                 TaskSpec::compute(
-                                    cpu,
+                                    ctx.cpu,
                                     SimTime::from_secs(
                                         (elems * 12) as f64 / chip.cpu.mem_bandwidth,
                                     ) + overhead,
@@ -397,138 +389,121 @@ fn simulate_fixed(
                     } else if m + 1 == micro {
                         grad_arrivals.push((bi, chunk));
                     }
-                }
-                last_bwd_chunk = Some(prev_chunk);
-            }
+                    Ok(())
+                },
+            )?;
+            last_bwd_chunk = Some(last);
+        }
 
-            // --- Optimizer phase -----------------------------------------
-            // STE: a global norm/NaN synchronization gates every step.
-            let norm_sync = if opts.use_stv {
-                None
-            } else {
-                let all: Vec<TaskId> = grad_arrivals.iter().map(|&(_, t)| t).collect();
-                Some(sim.add_task(
+        // --- Optimizer phase -----------------------------------------
+        // STE: a global norm/NaN synchronization gates every step.
+        let norm_sync = if opts.use_stv {
+            None
+        } else {
+            let all: Vec<TaskId> = grad_arrivals.iter().map(|&(_, t)| t).collect();
+            Some(
+                ctx.sim.add_task(
                     TaskSpec::compute(
-                        cpu,
-                        SimTime::from_secs((4 * params) as f64 / chip.cpu.mem_bandwidth)
-                            + overhead,
+                        ctx.cpu,
+                        SimTime::from_secs((4 * params) as f64 / chip.cpu.mem_bandwidth) + overhead,
                     )
                     .with_label("global-norm-sync")
                     .after_all(all),
-                )?)
-            };
+                )?,
+            )
+        };
 
-            for &(bi, arrival) in &grad_arrivals {
-                let elems = plan_buckets.bucket_elems(bi);
-                if plan_buckets.is_retained(bi) {
-                    // GPU-resident optimizer step.
-                    let mut spec = TaskSpec::compute(
-                        gpu,
-                        gpu_optimizer_time(&chip.gpu, elems) + overhead,
-                    )
-                    .with_label(format!("step-gpu[{bi}]"))
-                    .after(arrival);
-                    if let Some(ns) = norm_sync {
-                        spec = spec.after(ns);
-                    }
-                    let step = sim.add_task(spec)?;
-                    iter_end_deps.push(step);
-                } else {
-                    // CPU optimizer step (+ fused cast overhead if any).
-                    let step_time = pipeline_step_time(opts.optimizer, &chip.cpu, elems)
-                        + cast.fused_optimizer_overhead(chip, elems);
-                    let mut spec = TaskSpec::compute(cpu, step_time + overhead)
-                        .with_label(format!("step-cpu[{bi}]"))
+        for &(bi, arrival) in &grad_arrivals {
+            let elems = plan_buckets.bucket_elems(bi);
+            if plan_buckets.is_retained(bi) {
+                // GPU-resident optimizer step.
+                let mut spec =
+                    TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, elems) + overhead)
+                        .with_label(format!("step-gpu[{bi}]"))
                         .after(arrival);
-                    if let Some(ns) = norm_sync {
-                        spec = spec.after(ns);
-                    }
-                    let step = sim.add_task(spec)?;
+                if let Some(ns) = norm_sync {
+                    spec = spec.after(ns);
+                }
+                let step = ctx.sim.add_task(spec)?;
+                iter_end_deps.push(step);
+            } else {
+                // CPU optimizer step (+ fused cast overhead if any).
+                let step_time = pipeline_step_time(opts.optimizer, &chip.cpu, elems)
+                    + cast.fused_optimizer_overhead(chip, elems);
+                let mut spec = TaskSpec::compute(ctx.cpu, step_time + overhead)
+                    .with_label(format!("step-cpu[{bi}]"))
+                    .after(arrival);
+                if let Some(ns) = norm_sync {
+                    spec = spec.after(ns);
+                }
+                let step = ctx.sim.add_task(spec)?;
 
-                    // STV: background validation on spare cores, off the
-                    // critical path (scans the bucket's gradients).
-                    if opts.use_stv {
-                        sim.add_task(
-                            TaskSpec::compute(
-                                cpu_val,
-                                SimTime::from_secs(
-                                    (4 * elems) as f64 / (chip.cpu.mem_bandwidth * 0.25),
-                                ),
-                            )
-                            .with_label(format!("validate[{bi}]"))
-                            .after(arrival),
-                        )?;
-                    }
-
-                    // Parameter swap-in.
-                    let (ret_time, ret_dep) = match cast {
-                        CastPlacement::GpuCastMoveFp32 => {
-                            (chip.c2c.transfer_time(4 * elems), step)
-                        }
-                        CastPlacement::CpuCastMoveFp16Pageable => {
-                            let c = sim.add_task(
-                                TaskSpec::cast(
-                                    cpu,
-                                    SimTime::from_secs(
-                                        (elems * 6) as f64 / chip.cpu.mem_bandwidth,
-                                    ) + overhead,
-                                )
-                                .with_label(format!("cast-param[{bi}]"))
-                                .after(step),
-                            )?;
-                            (chip.c2c.transfer_time_pageable(2 * elems), c)
-                        }
-                        CastPlacement::CpuCastMoveFp16Fused => {
-                            (chip.c2c.transfer_time(2 * elems), step)
-                        }
-                    };
-                    let ret = sim.add_task(
-                        TaskSpec::transfer(h2d, ret_time + overhead)
-                            .with_label(format!("param-in[{bi}]"))
-                            .after(ret_dep),
+                // STV: background validation on spare cores, off the
+                // critical path (scans the bucket's gradients).
+                if opts.use_stv {
+                    ctx.sim.add_task(
+                        TaskSpec::compute(
+                            cpu_val,
+                            SimTime::from_secs(
+                                (4 * elems) as f64 / (chip.cpu.mem_bandwidth * 0.25),
+                            ),
+                        )
+                        .with_label(format!("validate[{bi}]"))
+                        .after(arrival),
                     )?;
-                    if cast == CastPlacement::GpuCastMoveFp32 {
-                        let c = sim.add_task(
+                }
+
+                // Parameter swap-in.
+                let (ret_time, ret_dep) = match cast {
+                    CastPlacement::GpuCastMoveFp32 => (chip.c2c.transfer_time(4 * elems), step),
+                    CastPlacement::CpuCastMoveFp16Pageable => {
+                        let c = ctx.sim.add_task(
                             TaskSpec::cast(
-                                gpu,
-                                SimTime::from_secs(
-                                    (elems * 6) as f64 / chip.gpu.mem_bandwidth,
-                                ) + overhead,
+                                ctx.cpu,
+                                SimTime::from_secs((elems * 6) as f64 / chip.cpu.mem_bandwidth)
+                                    + overhead,
                             )
-                            .with_label(format!("cast-param-gpu[{bi}]"))
-                            .after(ret),
+                            .with_label(format!("cast-param[{bi}]"))
+                            .after(step),
                         )?;
-                        iter_end_deps.push(c);
-                    } else {
-                        iter_end_deps.push(ret);
+                        (chip.c2c.transfer_time_pageable(2 * elems), c)
                     }
+                    CastPlacement::CpuCastMoveFp16Fused => {
+                        (chip.c2c.transfer_time(2 * elems), step)
+                    }
+                };
+                let ret = ctx.sim.add_task(
+                    TaskSpec::transfer(ctx.h2d, ret_time + overhead)
+                        .with_label(format!("param-in[{bi}]"))
+                        .after(ret_dep),
+                )?;
+                if cast == CastPlacement::GpuCastMoveFp32 {
+                    let c = ctx.sim.add_task(
+                        TaskSpec::cast(
+                            ctx.gpu,
+                            SimTime::from_secs((elems * 6) as f64 / chip.gpu.mem_bandwidth)
+                                + overhead,
+                        )
+                        .with_label(format!("cast-param-gpu[{bi}]"))
+                        .after(ret),
+                    )?;
+                    iter_end_deps.push(c);
+                } else {
+                    iter_end_deps.push(ret);
                 }
             }
-
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu)
-                    .with_label("iter-gate")
-                    .after_all(iter_end_deps),
-            )?;
-            prev_gate = Some(gate);
-            gates_local.push(gate);
         }
-        Ok(gates_local)
-    };
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return (TrainReport::oom(system), None),
-    };
+        iters.close(&mut ctx, iter_end_deps)?;
+    }
 
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return (TrainReport::oom(system), None),
-    };
-
-    let report =
-        finalize_report(system, &trace, &gates, gpu, cpu, flops.effective(), chip, plan);
-    (report, Some(trace))
+    ctx.finish(
+        system,
+        iters.gates(),
+        flops.effective(),
+        chip,
+        plan,
+    )
 }
 
 /// Extracts a steady-state [`TrainReport`] from a multi-iteration trace
@@ -550,7 +525,9 @@ pub fn finalize_report(
 ) -> TrainReport {
     assert!(gates.len() >= 2, "need >= 2 iterations for steady state");
     let first = trace.end_time(gates[0]).expect("gate executed");
-    let last = trace.end_time(*gates.last().expect("nonempty")).expect("gate executed");
+    let last = trace
+        .end_time(*gates.last().expect("nonempty"))
+        .expect("gate executed");
     let span = last - first;
     let iters = (gates.len() - 1) as f64;
     let iter_time = span / iters;
@@ -576,10 +553,17 @@ pub fn finalize_report(
         plan: Some(plan),
         iter_time,
         tflops: t,
-        mfu: effective_flops
-            / (iter_time.as_secs() * chip.gpu.peak_flops * DENSE_PEAK_FRACTION),
-        gpu_util: if span > SimTime::ZERO { gpu_busy / span } else { 0.0 },
-        cpu_util: if span > SimTime::ZERO { cpu_busy / span } else { 0.0 },
+        mfu: effective_flops / (iter_time.as_secs() * chip.gpu.peak_flops * DENSE_PEAK_FRACTION),
+        gpu_util: if span > SimTime::ZERO {
+            gpu_busy / span
+        } else {
+            0.0
+        },
+        cpu_util: if span > SimTime::ZERO {
+            cpu_busy / span
+        } else {
+            0.0
+        },
     }
 }
 
@@ -649,7 +633,10 @@ mod tests {
     fn large_model_uses_flow_and_fits() {
         let chip = presets::gh200_chip();
         let r = simulate_single_chip(&chip, &wl("25B", 8), &SuperOffloadOptions::default());
-        assert!(r.feasible(), "25B should fit on one GH200 with SuperOffload");
+        assert!(
+            r.feasible(),
+            "25B should fit on one GH200 with SuperOffload"
+        );
     }
 
     #[test]
@@ -719,7 +706,12 @@ mod tests {
                 ..SuperOffloadOptions::default()
             },
         );
-        assert!(small.tflops < big.tflops, "{} !< {}", small.tflops, big.tflops);
+        assert!(
+            small.tflops < big.tflops,
+            "{} !< {}",
+            small.tflops,
+            big.tflops
+        );
     }
 
     #[test]

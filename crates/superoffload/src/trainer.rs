@@ -20,7 +20,9 @@ use llm_model::transformer::GptModel;
 use tensorlite::TensorError;
 
 use crate::checkpoint::Checkpoint;
-use crate::engine::{EngineConfig, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine};
+use crate::engine::{
+    EngineConfig, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine,
+};
 
 /// Which execution discipline drives the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

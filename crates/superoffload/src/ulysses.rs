@@ -10,7 +10,7 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use llm_model::ModelConfig;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
@@ -18,7 +18,8 @@ use superchip_sim::prelude::*;
 use crate::casting::CastPlacement;
 use crate::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl};
 use crate::report::TrainReport;
-use crate::schedule::{finalize_report, SuperOffloadOptions, CPU_USABLE, GPU_USABLE};
+use crate::schedule::SuperOffloadOptions;
+use crate::system::{Capacity, Infeasible, IterationBuilder, ScheduleCtx};
 
 /// Which long-sequence system to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,9 @@ impl SequenceSystem {
 /// Simulates one training iteration of `system` on `ranks` Superchips with
 /// total sequence length `seq` (micro-batch of one sequence, as in the
 /// paper's long-context experiments).
+///
+/// Returns [`TrainReport::oom`] when the workload does not fit;
+/// [`simulate_ulysses_traced`] reports the structured reason instead.
 pub fn simulate_ulysses(
     cluster: &ClusterSpec,
     ranks: u32,
@@ -50,6 +54,22 @@ pub fn simulate_ulysses(
     system: SequenceSystem,
     opts: &SuperOffloadOptions,
 ) -> TrainReport {
+    crate::system::collapse(
+        simulate_ulysses_traced(cluster, ranks, config, seq, system, opts),
+        system.name(),
+    )
+}
+
+/// Like [`simulate_ulysses`], additionally returning the execution trace,
+/// or the structured [`Infeasible`] reason when the sequence cannot run.
+pub fn simulate_ulysses_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    config: &ModelConfig,
+    seq: u64,
+    system: SequenceSystem,
+    opts: &SuperOffloadOptions,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let chip = &cluster.node.chip;
     let params = config.param_count();
@@ -61,8 +81,7 @@ pub fn simulate_ulysses(
     let local_wl = Workload::new(config.clone(), 1, local_seq);
 
     // --- Memory ------------------------------------------------------------
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
     let staging = 4 * opts.bucket_bytes;
 
     let (gpu_resident, cpu_resident) = match system {
@@ -70,9 +89,8 @@ pub fn simulate_ulysses(
             // DeepSpeed-Ulysses runs with ZeRO-1/2: FP16 parameters and
             // gradients replicated on every GPU ("the fixed GPU memory
             // consumption of model states"), optimizer state sharded.
-            let resident = states.fp16_params
-                + states.fp16_grads
-                + states.optimizer_states() / ranks as u64;
+            let resident =
+                states.fp16_params + states.fp16_grads + states.optimizer_states() / ranks as u64;
             (resident, 0u64)
         }
         SequenceSystem::SuperOffloadUlysses => {
@@ -83,12 +101,9 @@ pub fn simulate_ulysses(
             (window + staging, cpu)
         }
     };
-    if gpu_resident > gpu_cap || cpu_resident > cpu_cap {
-        return TrainReport::oom(system.name());
-    }
-    let Some(plan) = ExecutionPlan::best(&local_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system.name());
-    };
+    cap.fit_gpu(gpu_resident)?;
+    cap.fit_cpu(cpu_resident)?;
+    let plan = cap.plan(&local_wl, gpu_resident)?;
 
     // --- Costs --------------------------------------------------------------
     // Per-rank compute: full model FLOPs over the local tokens, with the
@@ -120,152 +135,124 @@ pub fn simulate_ulysses(
     let shard = params / ranks as u64;
 
     // --- Graph ---------------------------------------------------------------
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let d2h = sim.add_resource("c2c-d2h");
-    let h2d = sim.add_resource("c2c-h2d");
-    let net = sim.add_resource("fabric");
+    let mut ctx = ScheduleCtx::standard();
 
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..opts.iterations {
-            let deps: Vec<TaskId> = prev_gate.into_iter().collect();
-            let mut fwd_deps = deps.clone();
-            if stream_bytes > 0 {
-                let fetch = sim.add_task(
-                    TaskSpec::transfer(h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
-                        .with_label("weight-fetch-fwd")
-                        .after_all(deps.iter().copied()),
-                )?;
-                fwd_deps.push(fetch);
-            }
-            // Attention all-to-alls overlap layer compute only partially;
-            // model as alternating compute/comm halves: comm serializes on
-            // the fabric, compute on the GPU, linked per layer pair.
-            let half_layers = 2u32;
-            let fwd_chunk = compute.fwd_per_micro / half_layers as f64;
-            let comm_chunk = comm_total / (2.0 * half_layers as f64); // fwd half of comm
-            let mut prev = None;
-            for i in 0..half_layers {
-                let mut spec = TaskSpec::compute(gpu, fwd_chunk + overhead)
-                    .with_label(format!("fwd[{i}]"))
-                    .after_all(fwd_deps.iter().copied());
-                if let Some(p) = prev {
-                    spec = spec.after(p);
-                }
-                let c = sim.add_task(spec)?;
-                let a2a = sim.add_task(
-                    TaskSpec::collective(net, comm_chunk + overhead)
-                        .with_label(format!("all2all-fwd[{i}]"))
-                        .after(c),
-                )?;
-                prev = Some(a2a);
-            }
-            let mut bwd_deps: Vec<TaskId> = prev.into_iter().collect();
-            if stream_bytes > 0 {
-                let fetch = sim.add_task(
-                    TaskSpec::transfer(h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
-                        .with_label("weight-fetch-bwd")
-                        .after_all(bwd_deps.iter().copied()),
-                )?;
-                bwd_deps.push(fetch);
-            }
-            let bwd_chunk = compute.bwd_per_micro / half_layers as f64;
-            for i in 0..half_layers {
-                let mut spec = TaskSpec::compute(gpu, bwd_chunk + overhead)
-                    .with_label(format!("bwd[{i}]"))
-                    .after_all(bwd_deps.iter().copied());
-                if let Some(p) = prev {
-                    spec = spec.after(p);
-                }
-                let c = sim.add_task(spec)?;
-                let a2a = sim.add_task(
-                    TaskSpec::collective(net, comm_chunk + overhead)
-                        .with_label(format!("all2all-bwd[{i}]"))
-                        .after(c),
-                )?;
-                prev = Some(a2a);
-            }
-            let bwd_done = prev.expect("at least one layer half");
-
-            // Gradient reduce-scatter across the SP group (gradients are
-            // summed over sequence shards).
-            let rs = sim.add_task(
-                TaskSpec::collective(net, coll.reduce_scatter(states.fp16_grads) + overhead)
-                    .with_label("grad-reduce-scatter")
-                    .after(bwd_done),
+    let mut iters = IterationBuilder::new();
+    for _ in 0..opts.iterations {
+        let deps: Vec<TaskId> = iters.start_deps();
+        let mut fwd_deps = deps.clone();
+        if stream_bytes > 0 {
+            let fetch = ctx.sim.add_task(
+                TaskSpec::transfer(ctx.h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
+                    .with_label("weight-fetch-fwd")
+                    .after_all(deps.iter().copied()),
             )?;
-
-            let gate_dep = match system {
-                SequenceSystem::Ulysses => {
-                    // GPU-resident sharded optimizer step.
-                    sim.add_task(
-                        TaskSpec::compute(
-                            gpu,
-                            crate::costs::gpu_optimizer_time(&chip.gpu, shard) + overhead,
-                        )
-                        .with_label("step-gpu")
-                        .after(rs),
-                    )?
-                }
-                SequenceSystem::SuperOffloadUlysses => {
-                    let out = sim.add_task(
-                        TaskSpec::transfer(
-                            d2h,
-                            CastPlacement::GpuCastMoveFp32.one_way_time(chip, shard) + overhead,
-                        )
-                        .with_label("grad-out")
-                        .after(rs),
-                    )?;
-                    let step = sim.add_task(
-                        TaskSpec::compute(
-                            cpu,
-                            pipeline_step_time(OptimizerImpl::GraceAdam, &chip.cpu, shard)
-                                + overhead,
-                        )
-                        .with_label("step-cpu")
-                        .after(out),
-                    )?;
-                    sim.add_task(
-                        TaskSpec::transfer(
-                            h2d,
-                            CastPlacement::GpuCastMoveFp32.one_way_time(chip, shard) + overhead,
-                        )
-                        .with_label("param-in")
-                        .after(step),
-                    )?
-                }
-            };
-
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu).with_label("iter-gate").after(gate_dep),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
+            fwd_deps.push(fetch);
         }
-        Ok(gates)
-    };
+        // Attention all-to-alls overlap layer compute only partially;
+        // model as alternating compute/comm halves: comm serializes on
+        // the fabric, compute on the GPU, linked per layer pair.
+        let half_layers = 2u32;
+        let fwd_chunk = compute.fwd_per_micro / half_layers as f64;
+        let comm_chunk = comm_total / (2.0 * half_layers as f64); // fwd half of comm
+        let mut prev = None;
+        for i in 0..half_layers {
+            let mut spec = TaskSpec::compute(ctx.gpu, fwd_chunk + overhead)
+                .with_label(format!("fwd[{i}]"))
+                .after_all(fwd_deps.iter().copied());
+            if let Some(p) = prev {
+                spec = spec.after(p);
+            }
+            let c = ctx.sim.add_task(spec)?;
+            let a2a = ctx.sim.add_task(
+                TaskSpec::collective(ctx.net, comm_chunk + overhead)
+                    .with_label(format!("all2all-fwd[{i}]"))
+                    .after(c),
+            )?;
+            prev = Some(a2a);
+        }
+        let mut bwd_deps: Vec<TaskId> = prev.into_iter().collect();
+        if stream_bytes > 0 {
+            let fetch = ctx.sim.add_task(
+                TaskSpec::transfer(ctx.h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
+                    .with_label("weight-fetch-bwd")
+                    .after_all(bwd_deps.iter().copied()),
+            )?;
+            bwd_deps.push(fetch);
+        }
+        let bwd_chunk = compute.bwd_per_micro / half_layers as f64;
+        for i in 0..half_layers {
+            let mut spec = TaskSpec::compute(ctx.gpu, bwd_chunk + overhead)
+                .with_label(format!("bwd[{i}]"))
+                .after_all(bwd_deps.iter().copied());
+            if let Some(p) = prev {
+                spec = spec.after(p);
+            }
+            let c = ctx.sim.add_task(spec)?;
+            let a2a = ctx.sim.add_task(
+                TaskSpec::collective(ctx.net, comm_chunk + overhead)
+                    .with_label(format!("all2all-bwd[{i}]"))
+                    .after(c),
+            )?;
+            prev = Some(a2a);
+        }
+        let bwd_done = prev.expect("at least one layer half");
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system.name()),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system.name()),
-    };
-    finalize_report(
-        system.name(),
-        &trace,
-        &gates,
-        gpu,
-        cpu,
-        per_rank.effective(),
-        chip,
-        plan,
-    )
+        // Gradient reduce-scatter across the SP group (gradients are
+        // summed over sequence shards).
+        let rs = ctx.reduce_scatter(
+            &coll,
+            states.fp16_grads,
+            overhead,
+            "grad-reduce-scatter",
+            bwd_done,
+        )?;
+
+        let gate_dep = match system {
+            SequenceSystem::Ulysses => {
+                // GPU-resident sharded optimizer step.
+                ctx.sim.add_task(
+                    TaskSpec::compute(
+                        ctx.gpu,
+                        crate::costs::gpu_optimizer_time(&chip.gpu, shard) + overhead,
+                    )
+                    .with_label("step-gpu")
+                    .after(rs),
+                )?
+            }
+            SequenceSystem::SuperOffloadUlysses => {
+                let out = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.d2h,
+                        CastPlacement::GpuCastMoveFp32.one_way_time(chip, shard) + overhead,
+                    )
+                    .with_label("grad-out")
+                    .after(rs),
+                )?;
+                let step = ctx.sim.add_task(
+                    TaskSpec::compute(
+                        ctx.cpu,
+                        pipeline_step_time(OptimizerImpl::GraceAdam, &chip.cpu, shard) + overhead,
+                    )
+                    .with_label("step-cpu")
+                    .after(out),
+                )?;
+                ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        CastPlacement::GpuCastMoveFp32.one_way_time(chip, shard) + overhead,
+                    )
+                    .with_label("param-in")
+                    .after(step),
+                )?
+            }
+        };
+
+        iters.close(&mut ctx, [gate_dep])?;
+    }
+
+    let gates = iters.gates().to_vec();
+    ctx.finish(system.name(), &gates, per_rank.effective(), chip, plan)
 }
 
 /// Largest power-of-two sequence length (in multiples of 1024) `system` can
@@ -350,8 +337,7 @@ mod tests {
         let cfg = cfg_13b();
         let seq = 32 * 1024;
         let vanilla = simulate_ulysses(&c, 8, &cfg, seq, SequenceSystem::Ulysses, &opts);
-        let ours =
-            simulate_ulysses(&c, 8, &cfg, seq, SequenceSystem::SuperOffloadUlysses, &opts);
+        let ours = simulate_ulysses(&c, 8, &cfg, seq, SequenceSystem::SuperOffloadUlysses, &opts);
         assert!(vanilla.feasible() && ours.feasible());
         assert!(
             ours.mfu >= vanilla.mfu * 0.9,
@@ -366,10 +352,22 @@ mod tests {
         let opts = SuperOffloadOptions::default();
         let c = cluster();
         let cfg = cfg_13b();
-        let four =
-            max_sequence_length(&c, 4, &cfg, SequenceSystem::SuperOffloadUlysses, 1 << 21, &opts);
-        let eight =
-            max_sequence_length(&c, 8, &cfg, SequenceSystem::SuperOffloadUlysses, 1 << 21, &opts);
+        let four = max_sequence_length(
+            &c,
+            4,
+            &cfg,
+            SequenceSystem::SuperOffloadUlysses,
+            1 << 21,
+            &opts,
+        );
+        let eight = max_sequence_length(
+            &c,
+            8,
+            &cfg,
+            SequenceSystem::SuperOffloadUlysses,
+            1 << 21,
+            &opts,
+        );
         assert!(eight.unwrap_or(0) >= four.unwrap_or(0));
     }
 

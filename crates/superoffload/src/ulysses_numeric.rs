@@ -104,8 +104,7 @@ pub fn all_to_all_to_heads(
                     let head = dst_rank * local_heads + lh;
                     let src = ls * width + head * head_dim;
                     let dst = global_s * local_heads * head_dim + lh * head_dim;
-                    out[dst..dst + head_dim]
-                        .copy_from_slice(&t.data()[src..src + head_dim]);
+                    out[dst..dst + head_dim].copy_from_slice(&t.data()[src..src + head_dim]);
                 }
             }
         }
@@ -143,8 +142,7 @@ pub fn attention_over_heads(
             let mut d = vec![0.0f32; seq * head_dim];
             for s in 0..seq {
                 let src = s * width + h * head_dim;
-                d[s * head_dim..(s + 1) * head_dim]
-                    .copy_from_slice(&t.data()[src..src + head_dim]);
+                d[s * head_dim..(s + 1) * head_dim].copy_from_slice(&t.data()[src..src + head_dim]);
             }
             Tensor::from_vec(d, &[seq, head_dim])
         };
@@ -159,8 +157,7 @@ pub fn attention_over_heads(
         let o = probs.matmul(&v)?;
         for s in 0..seq {
             let dst = s * width + h * head_dim;
-            out[dst..dst + head_dim]
-                .copy_from_slice(&o.data()[s * head_dim..(s + 1) * head_dim]);
+            out[dst..dst + head_dim].copy_from_slice(&o.data()[s * head_dim..(s + 1) * head_dim]);
         }
     }
     Tensor::from_vec(out, &[seq, width])
@@ -193,8 +190,7 @@ pub fn all_to_all_to_sequence(
                         let head = src_rank * local_heads + lh;
                         let src = global_s * local_width + lh * head_dim;
                         let dst = ls * width + head * head_dim;
-                        out[dst..dst + head_dim]
-                            .copy_from_slice(&t.data()[src..src + head_dim]);
+                        out[dst..dst + head_dim].copy_from_slice(&t.data()[src..src + head_dim]);
                     }
                 }
             }

@@ -17,7 +17,7 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
-use llm_model::workload::{ExecutionPlan, Workload};
+use llm_model::workload::Workload;
 use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
@@ -25,28 +25,43 @@ use crate::bucket::BucketPlan;
 use crate::casting::CastPlacement;
 use crate::costs::{gpu_optimizer_time, pipeline_step_time, ComputeTimes};
 use crate::report::TrainReport;
-use crate::schedule::{finalize_report, SuperOffloadOptions, CPU_USABLE, GPU_USABLE};
+use crate::schedule::SuperOffloadOptions;
+use crate::system::{split_batch, Capacity, Infeasible, IterationBuilder, ScheduleCtx};
 
 /// Simulates SuperOffload + ZeRO-DP across `ranks` Superchips of `cluster`.
 ///
 /// `workload.global_batch` is the global batch; it is divided evenly across
-/// ranks (must divide). The report is per-GPU (as in Fig. 11).
+/// ranks (must divide). The report is per-GPU (as in Fig. 11). Returns
+/// [`TrainReport::oom`] on any infeasibility; [`simulate_cluster_traced`]
+/// reports the structured reason instead.
 ///
 /// # Panics
-/// Panics if `ranks` is zero, exceeds the cluster, or does not divide the
-/// global batch.
+/// Panics if `ranks` is zero or exceeds the cluster.
 pub fn simulate_cluster(
     cluster: &ClusterSpec,
     ranks: u32,
     workload: &Workload,
     opts: &SuperOffloadOptions,
 ) -> TrainReport {
+    crate::system::collapse(
+        simulate_cluster_traced(cluster, ranks, workload, opts),
+        "superoffload",
+    )
+}
+
+/// Like [`simulate_cluster`], additionally returning the execution trace,
+/// or the structured [`Infeasible`] reason (capacity, batch divisibility,
+/// no execution plan) when the workload cannot run.
+///
+/// # Panics
+/// Panics if `ranks` is zero or exceeds the cluster.
+pub fn simulate_cluster_traced(
+    cluster: &ClusterSpec,
+    ranks: u32,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(ranks >= 1 && ranks <= cluster.total_gpus());
-    assert_eq!(
-        workload.global_batch % ranks,
-        0,
-        "global batch must divide across ranks"
-    );
     let system = "superoffload";
     let chip = &cluster.node.chip;
     let params = workload.config.param_count();
@@ -55,12 +70,11 @@ pub fn simulate_cluster(
     let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     // Per-rank workload.
-    let rank_batch = workload.global_batch / ranks;
-    let rank_wl = Workload::new(workload.config.clone(), rank_batch, workload.seq);
+    let rank_wl = split_batch(workload, ranks)?;
+    let rank_batch = rank_wl.global_batch;
 
     // --- Memory planning (per rank) --------------------------------------
-    let gpu_cap = (chip.gpu.mem_bytes as f64 * GPU_USABLE) as u64;
-    let cpu_cap = (chip.cpu.mem_bytes as f64 * CPU_USABLE) as u64;
+    let cap = Capacity::of(chip);
 
     let cast = opts
         .cast
@@ -81,11 +95,9 @@ pub fn simulate_cluster(
     let staging = 4 * opts.bucket_bytes;
     let gather_window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
     let min_act =
-        llm_model::memory::ActivationMemory::checkpointed(&workload.config, 1, workload.seq)
-            .bytes;
-    let replicated_resident =
-        states.fp16_params + staging + buckets.retained_gpu_bytes() + min_act;
-    let replicated = replicated_resident <= gpu_cap;
+        llm_model::memory::ActivationMemory::checkpointed(&workload.config, 1, workload.seq).bytes;
+    let replicated_resident = states.fp16_params + staging + buckets.retained_gpu_bytes() + min_act;
+    let replicated = replicated_resident <= cap.gpu;
     let gpu_resident = if replicated {
         replicated_resident - min_act
     } else {
@@ -94,17 +106,11 @@ pub fn simulate_cluster(
             + staging
             + buckets.retained_gpu_bytes() / ranks as u64
     };
-    if gpu_resident > gpu_cap {
-        return TrainReport::oom(system);
-    }
+    cap.fit_gpu(gpu_resident)?;
     // CPU: FP32 master + moments for this rank's slice of the CPU buckets.
     let cpu_resident = 12 * (params - buckets.retained_elems()) / ranks as u64 + staging;
-    if cpu_resident > cpu_cap {
-        return TrainReport::oom(system);
-    }
-    let Some(plan) = ExecutionPlan::best(&rank_wl, gpu_cap - gpu_resident) else {
-        return TrainReport::oom(system);
-    };
+    cap.fit_cpu(cpu_resident)?;
+    let plan = cap.plan(&rank_wl, gpu_resident)?;
 
     // --- Cost inputs (per rank) ------------------------------------------
     let flops = TrainingFlops::for_iteration(
@@ -120,84 +126,69 @@ pub fn simulate_cluster(
     let allgather = coll.all_gather(states.fp16_params / ranks as u64);
 
     // --- Task graph (rank-0 perspective; ranks are symmetric) ------------
-    let mut sim = Simulator::new();
-    let gpu = sim.add_resource("gpu");
-    let cpu = sim.add_resource("cpu");
-    let d2h = sim.add_resource("c2c-d2h");
-    let h2d = sim.add_resource("c2c-h2d");
-    let net = sim.add_resource("fabric");
+    let mut ctx = ScheduleCtx::standard();
 
-    let b = buckets.num_buckets;
     let micro = plan.micro_steps();
 
-    let build = |sim: &mut Simulator| -> Result<Vec<TaskId>, SimError> {
-        let mut gates = Vec::new();
-        let mut prev_gate: Option<TaskId> = None;
-        for _ in 0..opts.iterations {
-            let mut iter_end: Vec<TaskId> = Vec::new();
-            let mut last_task: Option<TaskId> = None;
-            let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
+    let mut iters = IterationBuilder::new();
+    for _ in 0..opts.iterations {
+        let mut iter_end: Vec<TaskId> = Vec::new();
+        let mut last_task: Option<TaskId> = None;
+        let mut arrivals: Vec<(u32, TaskId)> = Vec::new();
 
-            for m in 0..micro {
-                let mut deps: Vec<TaskId> = prev_gate.into_iter().collect();
-                if let Some(t) = last_task {
-                    deps.push(t);
-                }
-                let fwd_dep = if replicated {
-                    deps
-                } else {
-                    // Sharded mode: all-gather weights for the forward pass.
-                    vec![sim.add_task(
-                        TaskSpec::collective(net, allgather + overhead)
-                            .with_label("allgather-fwd")
-                            .after_all(deps),
-                    )?]
-                };
-                let fwd = sim.add_task(
-                    TaskSpec::compute(gpu, compute.fwd_per_micro + overhead)
-                        .with_label("fwd")
-                        .after_all(fwd_dep),
-                )?;
-                let bwd_start = if replicated {
-                    fwd
-                } else {
-                    // Sharded mode: gather again for backward.
-                    sim.add_task(
-                        TaskSpec::collective(net, allgather + overhead)
-                            .with_label("allgather-bwd")
-                            .after(fwd),
-                    )?
-                };
+        for m in 0..micro {
+            let mut deps: Vec<TaskId> = iters.start_deps();
+            if let Some(t) = last_task {
+                deps.push(t);
+            }
+            let fwd_dep = if replicated {
+                deps
+            } else {
+                // Sharded mode: all-gather weights for the forward pass.
+                vec![ctx.sim.add_task(
+                    TaskSpec::collective(ctx.net, allgather + overhead)
+                        .with_label("allgather-fwd")
+                        .after_all(deps),
+                )?]
+            };
+            let fwd = ctx.forward(compute.fwd_per_micro + overhead, fwd_dep)?;
+            let bwd_start = if replicated {
+                fwd
+            } else {
+                // Sharded mode: gather again for backward.
+                ctx.sim.add_task(
+                    TaskSpec::collective(ctx.net, allgather + overhead)
+                        .with_label("allgather-bwd")
+                        .after(fwd),
+                )?
+            };
 
-                let mut prev_chunk = bwd_start;
-                for bi in 0..b {
-                    let elems = buckets.bucket_elems(bi);
-                    let frac = elems as f64 / params as f64;
-                    let chunk = sim.add_task(
-                        TaskSpec::compute(gpu, compute.bwd_per_micro * frac + overhead)
-                            .with_label(format!("bwd[{bi}]"))
-                            .after(prev_chunk),
-                    )?;
-                    prev_chunk = chunk;
-
+            let last = ctx.backward_chunks(
+                &buckets,
+                compute.bwd_per_micro,
+                overhead,
+                bwd_start,
+                None,
+                |ctx, bi, elems, chunk| {
                     // Reduce gradients across ranks: retained buckets are
                     // all-reduced in replicated mode (every rank steps them
                     // on the GPU); everything else reduce-scatters so each
                     // rank ends with its 1/ranks slice.
                     let rs = if replicated && buckets.is_retained(bi) && ranks > 1 {
-                        sim.add_task(
-                            TaskSpec::collective(net, coll.all_reduce(2 * elems) + overhead)
-                                .with_label(format!("allreduce[{bi}]"))
-                                .after(chunk),
+                        ctx.all_reduce(
+                            &coll,
+                            2 * elems,
+                            overhead,
+                            format!("allreduce[{bi}]"),
+                            chunk,
                         )?
                     } else if ranks > 1 {
-                        sim.add_task(
-                            TaskSpec::collective(
-                                net,
-                                coll.reduce_scatter(2 * elems) + overhead,
-                            )
-                            .with_label(format!("reduce-scatter[{bi}]"))
-                            .after(chunk),
+                        ctx.reduce_scatter(
+                            &coll,
+                            2 * elems,
+                            overhead,
+                            format!("reduce-scatter[{bi}]"),
+                            chunk,
                         )?
                     } else {
                         chunk
@@ -208,9 +199,9 @@ pub fn simulate_cluster(
                             arrivals.push((bi, rs));
                         } else {
                             // Swap this rank's slice out to the local CPU.
-                            let xfer = sim.add_task(
+                            let xfer = ctx.sim.add_task(
                                 TaskSpec::transfer(
-                                    d2h,
+                                    ctx.d2h,
                                     cast.one_way_time(chip, slice(elems)) + overhead,
                                 )
                                 .with_label(format!("grad-out[{bi}]"))
@@ -221,109 +212,88 @@ pub fn simulate_cluster(
                     } else {
                         iter_end.push(rs);
                     }
-                }
-                last_task = Some(prev_chunk);
-            }
+                    Ok(())
+                },
+            )?;
+            last_task = Some(last);
+        }
 
-            // Optimizer phase on shard (STV: per-bucket, no global sync).
-            let norm_sync = if opts.use_stv {
-                None
-            } else {
-                let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
-                Some(sim.add_task(
+        // Optimizer phase on shard (STV: per-bucket, no global sync).
+        let norm_sync = if opts.use_stv {
+            None
+        } else {
+            let all: Vec<TaskId> = arrivals.iter().map(|&(_, t)| t).collect();
+            Some(
+                ctx.sim.add_task(
                     TaskSpec::compute(
-                        cpu,
+                        ctx.cpu,
                         SimTime::from_secs((4 * shard_elems) as f64 / chip.cpu.mem_bandwidth)
                             + overhead,
                     )
                     .with_label("global-norm-sync")
                     .after_all(all),
-                )?)
-            };
-            for &(bi, arrival) in &arrivals {
-                let full = buckets.bucket_elems(bi);
-                let elems = slice(full);
-                if buckets.is_retained(bi) {
-                    // Retained buckets: every rank steps the full bucket on
-                    // its GPU (all-reduced gradients when replicated; the
-                    // reduce-scatter result otherwise).
-                    let step_elems = if replicated { full } else { elems };
-                    let mut spec = TaskSpec::compute(
-                        gpu,
-                        gpu_optimizer_time(&chip.gpu, step_elems) + overhead,
-                    )
-                    .with_label(format!("step-gpu[{bi}]"))
-                    .after(arrival);
-                    if let Some(ns) = norm_sync {
-                        spec = spec.after(ns);
-                    }
-                    iter_end.push(sim.add_task(spec)?);
-                } else {
-                    let mut spec = TaskSpec::compute(
-                        cpu,
-                        pipeline_step_time(opts.optimizer, &chip.cpu, elems)
-                            + cast.fused_optimizer_overhead(chip, elems)
-                            + overhead,
-                    )
-                    .with_label(format!("step-cpu[{bi}]"))
-                    .after(arrival);
-                    if let Some(ns) = norm_sync {
-                        spec = spec.after(ns);
-                    }
-                    let step = sim.add_task(spec)?;
-                    let ret = sim.add_task(
-                        TaskSpec::transfer(h2d, cast.one_way_time(chip, elems) + overhead)
-                            .with_label(format!("param-in[{bi}]"))
-                            .after(step),
+                )?,
+            )
+        };
+        for &(bi, arrival) in &arrivals {
+            let full = buckets.bucket_elems(bi);
+            let elems = slice(full);
+            if buckets.is_retained(bi) {
+                // Retained buckets: every rank steps the full bucket on
+                // its GPU (all-reduced gradients when replicated; the
+                // reduce-scatter result otherwise).
+                let step_elems = if replicated { full } else { elems };
+                let mut spec = TaskSpec::compute(
+                    ctx.gpu,
+                    gpu_optimizer_time(&chip.gpu, step_elems) + overhead,
+                )
+                .with_label(format!("step-gpu[{bi}]"))
+                .after(arrival);
+                if let Some(ns) = norm_sync {
+                    spec = spec.after(ns);
+                }
+                iter_end.push(ctx.sim.add_task(spec)?);
+            } else {
+                let mut spec = TaskSpec::compute(
+                    ctx.cpu,
+                    pipeline_step_time(opts.optimizer, &chip.cpu, elems)
+                        + cast.fused_optimizer_overhead(chip, elems)
+                        + overhead,
+                )
+                .with_label(format!("step-cpu[{bi}]"))
+                .after(arrival);
+                if let Some(ns) = norm_sync {
+                    spec = spec.after(ns);
+                }
+                let step = ctx.sim.add_task(spec)?;
+                let ret = ctx.sim.add_task(
+                    TaskSpec::transfer(ctx.h2d, cast.one_way_time(chip, elems) + overhead)
+                        .with_label(format!("param-in[{bi}]"))
+                        .after(step),
+                )?;
+                if replicated && ranks > 1 {
+                    // All-gather the updated FP16 slices of this bucket
+                    // back to every rank, overlapping later buckets.
+                    let ag = ctx.all_gather(
+                        &coll,
+                        2 * full / ranks as u64,
+                        overhead,
+                        format!("param-allgather[{bi}]"),
+                        ret,
                     )?;
-                    if replicated && ranks > 1 {
-                        // All-gather the updated FP16 slices of this bucket
-                        // back to every rank, overlapping later buckets.
-                        let ag = sim.add_task(
-                            TaskSpec::collective(
-                                net,
-                                coll.all_gather(2 * full / ranks as u64) + overhead,
-                            )
-                            .with_label(format!("param-allgather[{bi}]"))
-                            .after(ret),
-                        )?;
-                        iter_end.push(ag);
-                    } else {
-                        iter_end.push(ret);
-                    }
+                    iter_end.push(ag);
+                } else {
+                    iter_end.push(ret);
                 }
             }
-
-            let gate = sim.add_task(
-                TaskSpec::sync(gpu)
-                    .with_label("iter-gate")
-                    .after_all(iter_end),
-            )?;
-            prev_gate = Some(gate);
-            gates.push(gate);
         }
-        Ok(gates)
-    };
 
-    let gates = match build(&mut sim) {
-        Ok(g) => g,
-        Err(_) => return TrainReport::oom(system),
-    };
-    let trace = match sim.run() {
-        Ok(t) => t,
-        Err(_) => return TrainReport::oom(system),
-    };
+        iters.close(&mut ctx, iter_end)?;
+    }
+
     // Per-GPU effective FLOPs: this rank's share.
-    finalize_report(
-        system,
-        &trace,
-        &gates,
-        gpu,
-        cpu,
-        flops.effective(),
-        chip,
-        plan,
-    )
+    let gates = iters.gates().to_vec();
+    ctx.finish(system, &gates, flops.effective(), chip, plan)
 }
 
 /// Largest Appendix-A model SuperOffload can train on `ranks` Superchips
@@ -416,20 +386,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divide across ranks")]
     fn batch_must_divide() {
-        let _ = simulate_cluster(
+        let err = simulate_cluster_traced(
+            &cluster(2),
+            4,
+            &wl("10B", 7),
+            &SuperOffloadOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            Infeasible::BatchNotDivisible {
+                global_batch: 7,
+                ranks: 4
+            }
+        );
+        // The legacy wrapper collapses the structured reason into OOM form.
+        let report = simulate_cluster(
             &cluster(2),
             4,
             &wl("10B", 7),
             &SuperOffloadOptions::default(),
         );
+        assert!(!report.feasible());
     }
 
     #[test]
     fn deterministic() {
-        let a = simulate_cluster(&cluster(2), 4, &wl("10B", 16), &SuperOffloadOptions::default());
-        let b = simulate_cluster(&cluster(2), 4, &wl("10B", 16), &SuperOffloadOptions::default());
+        let a = simulate_cluster(
+            &cluster(2),
+            4,
+            &wl("10B", 16),
+            &SuperOffloadOptions::default(),
+        );
+        let b = simulate_cluster(
+            &cluster(2),
+            4,
+            &wl("10B", 16),
+            &SuperOffloadOptions::default(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use superoffload::ulysses_numeric::{
-    all_to_all_to_heads, all_to_all_to_sequence, dense_attention, shard_sequence,
-    ulysses_attention,
+    all_to_all_to_heads, all_to_all_to_sequence, dense_attention, shard_sequence, ulysses_attention,
 };
 use tensorlite::{Tensor, XorShiftRng};
 

@@ -315,14 +315,18 @@ mod tests {
             if h.is_nan() {
                 assert!(back.is_nan());
             } else {
-                assert_eq!(back.to_bits(), bits, "bits {bits:#06x} ({f}) did not roundtrip");
+                assert_eq!(
+                    back.to_bits(),
+                    bits,
+                    "bits {bits:#06x} ({f}) did not roundtrip"
+                );
             }
         }
     }
 
     #[test]
     fn precision_within_one_ulp() {
-        let vals = [0.1f32, 0.333, 3.14159, 100.7, 1e-3, 1234.5];
+        let vals = [0.1f32, 0.333, std::f32::consts::PI, 100.7, 1e-3, 1234.5];
         for &v in &vals {
             let err = (F16::from_f32(v).to_f32() - v).abs() / v.abs();
             assert!(err < 1e-3, "relative error {err} too large for {v}");

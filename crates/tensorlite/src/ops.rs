@@ -192,10 +192,7 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)
     for g in &mut grad {
         *g *= inv_m;
     }
-    Ok((
-        (loss / m as f64) as f32,
-        Tensor::from_vec(grad, &[m, n])?,
-    ))
+    Ok(((loss / m as f64) as f32, Tensor::from_vec(grad, &[m, n])?))
 }
 
 /// `x @ w + b` for rank-2 `x` (rows are tokens) — the linear layer forward.
@@ -362,8 +359,7 @@ mod tests {
         let beta: Vec<f32> = (0..6).map(|i| 0.1 * i as f32).collect();
         let dy = Tensor::randn(&[2, 6], 1.0, &mut rng);
         let (_, means, inv_stds) = layer_norm(&x, &gamma, &beta, 1e-5).unwrap();
-        let (dx, dgamma, dbeta) =
-            layer_norm_backward(&x, &dy, &gamma, &means, &inv_stds).unwrap();
+        let (dx, dgamma, dbeta) = layer_norm_backward(&x, &dy, &gamma, &means, &inv_stds).unwrap();
 
         let f = |t: &Tensor| -> f32 {
             let (y, _, _) = layer_norm(t, &gamma, &beta, 1e-5).unwrap();
@@ -437,11 +433,7 @@ mod tests {
         let targets = [1usize, 4, 0];
         let (_, grad) = cross_entropy(&logits, &targets).unwrap();
         for idx in 0..logits.len() {
-            let num = finite_diff(
-                |t| cross_entropy(t, &targets).unwrap().0,
-                &logits,
-                idx,
-            );
+            let num = finite_diff(|t| cross_entropy(t, &targets).unwrap().0, &logits, idx);
             assert!(
                 (num - grad.data()[idx]).abs() < TOL,
                 "idx {idx}: {num} vs {}",

@@ -21,7 +21,11 @@ impl XorShiftRng {
     /// Creates a generator from a seed (zero is mapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
         XorShiftRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

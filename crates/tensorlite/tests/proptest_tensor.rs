@@ -1,7 +1,7 @@
 //! Property-based tests of tensor kernels and half-precision conversion.
 
 use proptest::prelude::*;
-use tensorlite::{f16_to_f32_slice, f32_to_f16_slice, ops, F16, Tensor};
+use tensorlite::{f16_to_f32_slice, f32_to_f16_slice, ops, Tensor, F16};
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-10.0f32..10.0, rows * cols)

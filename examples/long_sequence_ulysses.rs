@@ -62,6 +62,9 @@ fn main() {
         f(max_ours)
     );
     if let (Some(v), Some(o)) = (max_vanilla, max_ours) {
-        println!("-> {}x longer sequences (paper: 8x, 1M tokens at ~55% MFU)", o / v);
+        println!(
+            "-> {}x longer sequences (paper: 8x, 1M tokens at ~55% MFU)",
+            o / v
+        );
     }
 }

@@ -37,7 +37,11 @@ fn main() {
             cell(&fsdp_offload::simulate(&cluster, 1, &w)),
             cell(&zero_infinity::simulate(&cluster, 1, &w)),
             cell(&zero_offload::simulate(&cluster, 1, &w)),
-            cell(&simulate_single_chip(&chip, &w, &SuperOffloadOptions::default())),
+            cell(&simulate_single_chip(
+                &chip,
+                &w,
+                &SuperOffloadOptions::default()
+            )),
         );
     }
 

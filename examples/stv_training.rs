@@ -61,6 +61,10 @@ fn main() {
     println!("clip rollbacks:  {}", stats.clip_rollbacks);
     println!(
         "bit-identical to synchronous reference: {}",
-        if divergences == 0 { "YES (exact optimization, as the paper claims)" } else { "NO" }
+        if divergences == 0 {
+            "YES (exact optimization, as the paper claims)"
+        } else {
+            "NO"
+        }
     );
 }

@@ -34,7 +34,9 @@ fn main() {
 
     println!("training on the deterministic rule t -> (3t + 7) mod {vocab}\n");
     for chunk in 0..6 {
-        trainer.run(50, || pile.next_batch(4, 12)).expect("training step");
+        trainer
+            .run(50, || pile.next_batch(4, 12))
+            .expect("training step");
         let (step, loss) = *trainer.losses().last().expect("non-empty history");
         println!("step {step:>4}  loss {loss:.4}");
         let _ = chunk;
@@ -47,10 +49,7 @@ fn main() {
     // Generate: start from a token and let the model continue the orbit.
     let t0 = 5usize;
     let t1 = (3 * t0 + 7) % vocab;
-    let generated = trainer
-        .model()
-        .generate(&[t0, t1], 10)
-        .expect("generation");
+    let generated = trainer.model().generate(&[t0, t1], 10).expect("generation");
     println!("\nprompt [{t0}, {t1}] ->");
     print!("generated: ");
     let mut correct = 0;

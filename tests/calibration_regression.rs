@@ -77,7 +77,10 @@ fn c2c_curve_anchors_pinned() {
     let c2c = presets::nvlink_c2c();
     let small = c2c.effective_bandwidth(1_000_000) / 1e9;
     let knee = c2c.effective_bandwidth(64 << 20) / 1e9;
-    assert!((40.0..65.0).contains(&small), "1 MB anchor drifted: {small:.1} GB/s");
+    assert!(
+        (40.0..65.0).contains(&small),
+        "1 MB anchor drifted: {small:.1} GB/s"
+    );
     assert!(knee > 390.0, "64 MiB anchor drifted: {knee:.1} GB/s");
 }
 
@@ -86,10 +89,17 @@ fn c2c_curve_anchors_pinned() {
 fn grace_adam_model_pinned_to_table3() {
     use superoffload::costs::OptimizerImpl;
     let cpu = presets::grace_cpu(480 * superchip_sim::GB);
-    let t1 = OptimizerImpl::GraceAdam.step_time(&cpu, 1_000_000_000).as_secs();
-    let t8 = OptimizerImpl::GraceAdam.step_time(&cpu, 8_000_000_000).as_secs();
+    let t1 = OptimizerImpl::GraceAdam
+        .step_time(&cpu, 1_000_000_000)
+        .as_secs();
+    let t8 = OptimizerImpl::GraceAdam
+        .step_time(&cpu, 8_000_000_000)
+        .as_secs();
     assert!(within(t1, 0.082, 0.15), "1B GraceAdam drifted: {t1:.3} s");
-    assert!(within(t8, 0.706, 0.20), "8B GraceAdam drifted: {t8:.3} s (paper 0.608)");
+    assert!(
+        within(t8, 0.706, 0.20),
+        "8B GraceAdam drifted: {t8:.3} s (paper 0.608)"
+    );
 }
 
 /// The 25B single-chip capacity headline holds exactly.
@@ -98,5 +108,7 @@ fn capacity_headline_pinned() {
     let chip = presets::gh200_chip();
     assert!(simulate_single_chip(&chip, &wl("25B", 8), &SuperOffloadOptions::default()).feasible());
     // The next Appendix-A rung must NOT fit (50B), keeping 25B the headline.
-    assert!(!simulate_single_chip(&chip, &wl("50B", 8), &SuperOffloadOptions::default()).feasible());
+    assert!(
+        !simulate_single_chip(&chip, &wl("50B", 8), &SuperOffloadOptions::default()).feasible()
+    );
 }

@@ -128,10 +128,13 @@ fn rollback_contains_arbitrary_corruption() {
 fn adversarial_inputs_stay_finite() {
     let mut model = tiny();
     let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
-        (vec![52; 16], vec![52; 16]),                      // max token id, max length
-        (vec![0; 16], vec![0; 16]),                        // all zeros
-        ((0..16).map(|i| i % 53).collect(), (1..17).map(|i| i % 53).collect()),
-        (vec![5], vec![9]),                                // single token
+        (vec![52; 16], vec![52; 16]), // max token id, max length
+        (vec![0; 16], vec![0; 16]),   // all zeros
+        (
+            (0..16).map(|i| i % 53).collect(),
+            (1..17).map(|i| i % 53).collect(),
+        ),
+        (vec![5], vec![9]), // single token
     ];
     for (x, y) in cases {
         model.zero_grads();
@@ -174,5 +177,8 @@ fn sustained_overflow_never_corrupts_parameters() {
         }
     }
     assert!(recovered, "engine never recovered from overflow pressure");
-    assert!(engine.stats().skipped > 50, "overflow pressure was not sustained");
+    assert!(
+        engine.stats().skipped > 50,
+        "overflow pressure was not sustained"
+    );
 }

@@ -76,7 +76,8 @@ fn claim_25b_on_one_superchip() {
 #[test]
 fn claim_50b_on_four_superchips() {
     let cluster = presets::gh200_nvl2_cluster(2);
-    let so = zero_dp::simulate_cluster(&cluster, 4, &wl("50B", 16), &SuperOffloadOptions::default());
+    let so =
+        zero_dp::simulate_cluster(&cluster, 4, &wl("50B", 16), &SuperOffloadOptions::default());
     assert!(so.feasible(), "50B must fit on 4 Superchips");
     // ZeRO-Offload replicates FP16 params: 50B cannot fit.
     assert!(!zero_offload::simulate(&cluster, 4, &wl("50B", 16)).feasible());
@@ -117,9 +118,8 @@ fn claim_million_token_sequences() {
     .expect("superoffload-ulysses must train some sequence length");
     assert!(ours >= 1 << 20, "expected >= 1M tokens, got {ours}");
 
-    let vanilla =
-        max_sequence_length(&cluster, 8, &cfg, SequenceSystem::Ulysses, 1 << 21, &opts)
-            .expect("vanilla ulysses must train short sequences");
+    let vanilla = max_sequence_length(&cluster, 8, &cfg, SequenceSystem::Ulysses, 1 << 21, &opts)
+        .expect("vanilla ulysses must train short sequences");
     assert!(
         ours / vanilla >= 4,
         "sequence extension {}x below the paper's ~8x",
@@ -138,8 +138,14 @@ fn claim_idle_time_eliminated() {
     let so = simulate_single_chip(&chip, &w, &SuperOffloadOptions::default());
     let zo_idle = 1.0 - zo.gpu_util;
     let so_idle = 1.0 - so.gpu_util;
-    assert!(zo_idle > 0.3, "ZeRO-Offload idle {zo_idle:.2} should be large");
-    assert!(so_idle < 0.2, "SuperOffload idle {so_idle:.2} should be small");
+    assert!(
+        zo_idle > 0.3,
+        "ZeRO-Offload idle {zo_idle:.2} should be large"
+    );
+    assert!(
+        so_idle < 0.2,
+        "SuperOffload idle {so_idle:.2} should be small"
+    );
     assert!(so_idle < zo_idle / 2.0);
 }
 
@@ -160,14 +166,13 @@ fn claim_capacity_ordering_single_chip() {
     };
     let ddp_max = max_for(&|w| ddp::simulate(&cluster, 1, w).feasible());
     let zo_max = max_for(&|w| zero_offload::simulate(&cluster, 1, w).feasible());
-    let so_max = max_for(&|w| {
-        simulate_single_chip(&chip, w, &SuperOffloadOptions::default()).feasible()
-    });
+    let so_max =
+        max_for(&|w| simulate_single_chip(&chip, w, &SuperOffloadOptions::default()).feasible());
     assert!(ddp_max < zo_max, "ddp {ddp_max} !< zero-offload {zo_max}");
-    assert!(zo_max < so_max, "zero-offload {zo_max} !< superoffload {so_max}");
-    // The paper's 25B single-chip headline.
-    assert_eq!(
-        so_max,
-        ModelConfig::by_name("25B").unwrap().param_count()
+    assert!(
+        zo_max < so_max,
+        "zero-offload {zo_max} !< superoffload {so_max}"
     );
+    // The paper's 25B single-chip headline.
+    assert_eq!(so_max, ModelConfig::by_name("25B").unwrap().param_count());
 }

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the tiny slice of the crossbeam API the workspace actually uses
+//! (`crossbeam::channel::unbounded` plus `Sender`/`Receiver`), backed by
+//! `std::sync::mpsc`. Semantics relevant to this workspace are identical:
+//! unbounded FIFO, `Sender: Send + Clone`, and `Receiver::iter()` draining
+//! until every sender is dropped.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer channel API compatible with `crossbeam-channel`'s
+    //! `unbounded` constructor, as far as this workspace exercises it.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+            });
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,521 @@
+//! Offline, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements exactly the proptest surface the workspace's property tests
+//! use: the `proptest!` macro, `prop_assert*` macros, `Strategy` with
+//! `prop_map`/`prop_flat_map`, numeric range strategies, tuple strategies,
+//! `prop::collection::vec`, `any::<bool>()`, and `ProptestConfig`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **Fully deterministic**: each case's RNG is seeded from the test's
+//!   module path, name, and case index. Reruns always replay the same
+//!   inputs, so no regression files are needed (existing
+//!   `.proptest-regressions` files are ignored).
+//! - **No shrinking**: a failing case panics immediately; the case index is
+//!   printed so the exact inputs can be replayed.
+//! - **Default case count is 32** (not 256) to keep `cargo test` fast on
+//!   tests that run whole schedule simulations per case. Tests that set
+//!   `ProptestConfig::with_cases(n)` are honored exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG and configuration for the test harness.
+
+    /// xorshift64* RNG seeded from the test identity and case index, so
+    /// every run of a given test case draws identical values.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed for case `case` of the test named `test_name` (normally
+        /// `module_path!() + "::" + fn name`).
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if h == 0 {
+                h = 0x853c_49e6_748f_ea9b;
+            }
+            let mut rng = TestRng { state: h };
+            // One warm-up step decorrelates nearby seeds.
+            rng.next_u64();
+            rng
+        }
+
+        /// Next pseudo-random 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each test body runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Prints the failing case index when a test body panics, so the
+    /// deterministic case can be replayed. Used by the `proptest!` macro.
+    #[derive(Debug)]
+    pub struct CaseReporter {
+        /// Full test name.
+        pub test: &'static str,
+        /// Case index currently executing.
+        pub case: u32,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest (vendored stub): `{}` failed at deterministic case {}",
+                    self.test, self.case
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking; a strategy
+    /// simply samples from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to produce a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform `bool` strategy backing `any::<bool>()`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                    // Rounding can land exactly on the excluded endpoint.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategies!(A);
+    tuple_strategies!(A, B);
+    tuple_strategies!(A, B, C);
+    tuple_strategies!(A, B, C, D);
+    tuple_strategies!(A, B, C, D, E);
+    tuple_strategies!(A, B, C, D, E, G);
+    tuple_strategies!(A, B, C, D, E, G, H);
+    tuple_strategies!(A, B, C, D, E, G, H, I);
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait and `any()` entry point.
+
+    use crate::strategy::{BoolStrategy, Strategy};
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Half-open range of lengths a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi_exclusive, "empty size range");
+            let span = (self.hi_exclusive - self.lo) as u64;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias so `prop::collection::vec(..)` works after a prelude import.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// deterministically-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let __reporter = $crate::test_runner::CaseReporter {
+                    test: concat!(module_path!(), "::", stringify!($name)),
+                    case: __case,
+                };
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(__reporter.test, __case);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::sample(&__strats, &mut __rng);
+                $body
+                drop(__reporter);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-5i32..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_combinators_work() {
+        let mut rng = TestRng::for_case("vec", 0);
+        let strat = prop::collection::vec(0usize..10, 2..5).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let len = strat.sample(&mut rng);
+            assert!((2..5).contains(&len));
+        }
+        let exact = prop::collection::vec(0usize..10, 4);
+        assert_eq!(exact.sample(&mut rng).len(), 4);
+        let dependent = (1usize..6)
+            .prop_flat_map(|n| prop::collection::vec(0u32..100, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = dependent.sample(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10), flip in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            let (x, y) = if flip { (a, b) } else { (b, a) };
+            prop_assert_eq!(x + y, a + b, "commutativity with flip={}", flip);
+        }
+    }
+}
