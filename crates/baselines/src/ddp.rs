@@ -87,6 +87,7 @@ pub fn simulate_traced(
     let buckets = BucketPlan::new(params, DDP_BUCKET_BYTES, 0);
 
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {
         let mut iter_end: Vec<TaskId> = Vec::new();

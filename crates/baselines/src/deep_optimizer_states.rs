@@ -114,6 +114,7 @@ pub fn simulate_traced(
     let share = gpu_share(chip);
 
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {
         let mut last: Option<TaskId> = None;

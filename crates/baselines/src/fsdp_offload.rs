@@ -88,6 +88,7 @@ pub fn simulate_traced(
     let shard = |elems: u64| (elems / n).max(1);
 
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {
         let mut chain: Option<TaskId> = iters.prev_gate();

@@ -114,6 +114,7 @@ pub fn simulate_with_mp_traced(
     };
 
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {
         let mut last: Option<TaskId> = None;

@@ -191,6 +191,10 @@ pub fn simulate_traced(
     }
 
     let trace = sim.run()?;
+    // Per-GPU peak: stage 0's resident states plus its in-flight
+    // activations (the static planning quantities — this builder has no
+    // dynamic pool tracking).
+    let peaks = vec![("hbm".to_string(), stage_states + stage_cfg_act * in_flight)];
     // Per-GPU effective FLOPs: one stage's share.
     Ok((
         finalize_report(
@@ -202,6 +206,7 @@ pub fn simulate_traced(
             flops.effective() / stages as f64,
             chip,
             plan,
+            peaks,
         ),
         trace,
     ))

@@ -125,6 +125,7 @@ pub fn simulate_traced(
     let allgather = coll.all_gather(states.fp16_params / n.max(1));
 
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {
         let mut iter_end: Vec<TaskId> = Vec::new();

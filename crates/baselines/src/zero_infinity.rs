@@ -162,6 +162,7 @@ pub fn simulate_with_nvme_traced(
 
     let mut ctx = ScheduleCtx::standard();
     let nvme_res = ctx.add_resource("nvme");
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

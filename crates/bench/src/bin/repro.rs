@@ -3,9 +3,10 @@
 //! ```text
 //! cargo run --release -p superoffload-bench --bin repro -- all
 //! cargo run --release -p superoffload-bench --bin repro -- fig10 table2
+//! cargo run --release -p superoffload-bench --bin repro -- profile superoffload
 //! ```
 
-use superoffload_bench::{experiments, realbench};
+use superoffload_bench::{experiments, profile, realbench};
 
 const EXPERIMENTS: &[(&str, fn())] = &[
     ("table1", experiments::print_table1),
@@ -37,7 +38,7 @@ fn print_fig11_both() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <experiment>... | all");
+        eprintln!("usage: repro <experiment>... | all | profile <system>");
         eprintln!(
             "experiments: {} all",
             EXPERIMENTS
@@ -46,7 +47,21 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
+        eprintln!("profile <system>: emit a Perfetto trace + metrics snapshot");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    // `profile` takes a system-name argument, unlike the fn() table.
+    if args[0] == "profile" {
+        let Some(system) = args.get(1) else {
+            eprintln!("usage: repro profile <system>  (see `repro systems` for names)");
+            std::process::exit(2);
+        };
+        if let Err(msg) = profile::run(system) {
+            eprintln!("profile failed: {msg}");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let selected: Vec<&(&str, fn())> = if args.iter().any(|a| a == "all") {

@@ -807,10 +807,23 @@ pub fn print_systems() {
         "# Registered systems ({}); smoke workload: 3B, 1 chip",
         reg.len()
     );
-    println!("{:<22} {:>10}", "system", "TFLOPS");
+    println!(
+        "{:<22} {:>10} {:>14} {:>14}",
+        "system", "TFLOPS", "peak hbm (GiB)", "peak ddr (GiB)"
+    );
+    let gib = |b: Option<u64>| match b {
+        Some(b) => format!("{:.2}", b as f64 / GIB as f64),
+        None => "-".to_string(),
+    };
     for sys in reg.iter() {
-        match sys.simulate_traced(&c, 1, &w) {
-            Ok((r, _)) => println!("{:<22} {:>10.1}", sys.name(), r.tflops),
+        match sys.simulate_profiled(&c, 1, &w) {
+            Ok(p) => println!(
+                "{:<22} {:>10.1} {:>14} {:>14}",
+                sys.name(),
+                p.report.tflops,
+                gib(p.report.peak_bytes("hbm")),
+                gib(p.report.peak_bytes("ddr"))
+            ),
             Err(e) => println!("{:<22} {:>10} ({e})", sys.name(), "-"),
         }
     }

@@ -1,0 +1,151 @@
+//! The `repro -- profile <system>` subcommand: run any registered system
+//! on the smoke workload and emit a machine-readable run profile —
+//! a Perfetto-loadable Chrome trace (slices + counter tracks) and a
+//! versioned JSON metrics snapshot.
+//!
+//! Both outputs are derived purely from simulated time, so repeated runs
+//! are byte-identical (see `tests/telemetry.rs`).
+
+use baselines::common::single_chip_cluster;
+use baselines::standard_registry;
+use llm_model::workload::Workload;
+use llm_model::ModelConfig;
+use superchip_sim::presets;
+use superchip_sim::telemetry::validate_json;
+use superoffload::report::RunProfile;
+use superoffload::system::Infeasible;
+
+use crate::experiments::FIG10_BATCH;
+
+/// Model used by the profile smoke workload (matches `repro -- systems`).
+pub const PROFILE_MODEL: &str = "3B";
+
+/// Runs `system` (a name from [`standard_registry`]) on the single-chip
+/// smoke workload and returns its [`RunProfile`].
+///
+/// Returns `Err(None)` when the name is unknown, `Err(Some(reason))` when
+/// the workload is infeasible on the smoke configuration.
+pub fn profile_system(system: &str) -> Result<RunProfile, Option<Infeasible>> {
+    let reg = standard_registry();
+    let sys = reg.get(system).ok_or(None)?;
+    let cluster = single_chip_cluster(&presets::gh200_chip());
+    let workload = Workload::new(
+        ModelConfig::by_name(PROFILE_MODEL).expect("smoke model registered"),
+        FIG10_BATCH,
+        crate::experiments::SEQ,
+    );
+    sys.simulate_profiled(&cluster, 1, &workload).map_err(Some)
+}
+
+/// File names for a system's profile outputs:
+/// `(chrome trace, metrics snapshot)`.
+pub fn profile_paths(system: &str) -> (String, String) {
+    (
+        format!("profile_{system}.trace.json"),
+        format!("profile_{system}.json"),
+    )
+}
+
+/// Writes `profile_<system>.trace.json` and `profile_<system>.json` to the
+/// current directory, self-validating both as JSON before returning the
+/// written paths.
+pub fn write_profile(system: &str, profile: &RunProfile) -> std::io::Result<(String, String)> {
+    let (trace_path, metrics_path) = profile_paths(system);
+    let trace = profile.chrome_trace_json();
+    let metrics = profile.snapshot_json();
+    for (what, body) in [("trace", &trace), ("metrics", &metrics)] {
+        if let Err(e) = validate_json(body) {
+            panic!("generated {what} output is not valid JSON: {e}");
+        }
+    }
+    std::fs::write(&trace_path, &trace)?;
+    std::fs::write(&metrics_path, &metrics)?;
+    Ok((trace_path, metrics_path))
+}
+
+/// Prints a human summary of a profile: throughput, pool peaks, and the
+/// busiest counters.
+pub fn print_profile(system: &str, profile: &RunProfile) {
+    let r = &profile.report;
+    println!("# Profile: {system} ({PROFILE_MODEL}, batch {FIG10_BATCH}, 1 chip)");
+    println!(
+        "  iter {:.1} ms, {:.1} TFLOPS, gpu util {:.1}%",
+        r.iter_time.as_secs() * 1e3,
+        r.tflops,
+        r.gpu_util * 100.0
+    );
+    for (pool, peak) in &r.peaks {
+        println!(
+            "  peak {pool:<4} {:>8.2} GiB",
+            *peak as f64 / (1u64 << 30) as f64
+        );
+    }
+    let mut counters: Vec<(&String, &u64)> = profile.metrics.counters().iter().collect();
+    counters.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    for (name, value) in counters.iter().take(8) {
+        println!("  counter {name:<28} {value}");
+    }
+}
+
+/// Entry point for `repro -- profile <system>`: runs, writes, and
+/// summarizes the profile. Returns an error message suitable for the CLI
+/// on failure.
+pub fn run(system: &str) -> Result<(), String> {
+    let profile = profile_system(system).map_err(|e| match e {
+        None => {
+            let reg = standard_registry();
+            let names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown system '{system}'; registered systems: {}",
+                names.join(", ")
+            )
+        }
+        Some(reason) => format!("'{system}' is infeasible on the smoke workload: {reason}"),
+    })?;
+    print_profile(system, &profile);
+    let (trace_path, metrics_path) =
+        write_profile(system, &profile).map_err(|e| format!("write failed: {e}"))?;
+    println!("  wrote {trace_path} (open in https://ui.perfetto.dev)");
+    println!(
+        "  wrote {metrics_path} (schema {})",
+        superchip_sim::telemetry::METRICS_SCHEMA
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_system_lists_registry() {
+        let err = profile_system("no-such-system");
+        assert!(matches!(err, Err(None)));
+        let msg = run("no-such-system").unwrap_err();
+        assert!(msg.contains("superoffload"), "{msg}");
+        assert!(msg.contains("zero-offload"), "{msg}");
+    }
+
+    #[test]
+    fn superoffload_profile_has_counters_slices_and_pools() {
+        let p = profile_system("superoffload").expect("smoke workload fits");
+        let trace = p.chrome_trace_json();
+        assert!(trace.contains("\"ph\":\"X\""), "missing slices");
+        assert!(trace.contains("\"ph\":\"C\""), "missing counters");
+        assert!(trace.contains("mem:hbm"), "missing memory pool track");
+        assert!(trace.contains("bw:"), "missing link bandwidth track");
+        validate_json(&trace).expect("trace JSON");
+        let snap = p.snapshot_json();
+        validate_json(&snap).expect("snapshot JSON");
+        assert!(snap.contains("\"system\": \"superoffload\""), "{snap}");
+        assert!(p.report.peak_bytes("hbm").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = profile_system("superoffload").unwrap();
+        let b = profile_system("superoffload").unwrap();
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+    }
+}

@@ -3,35 +3,49 @@
 //!
 //! Emits the "JSON Array Format" of the Trace Event specification: one
 //! complete (`"ph": "X"`) event per executed interval, with one row (tid)
-//! per simulated resource. Load the output in Perfetto to inspect a
-//! schedule visually — the reproduction's equivalent of the paper's
-//! timeline figures (Fig. 3, Fig. 8).
+//! per simulated resource, and — via [`to_chrome_trace_with_counters`] —
+//! counter (`"ph": "C"`) tracks for memory occupancy, link bandwidth, and
+//! queueing delay. Load the output in Perfetto to inspect a schedule
+//! visually — the reproduction's equivalent of the paper's timeline figures
+//! (Fig. 3, Fig. 8) with the memory/bandwidth plots of Fig. 10–13 attached.
+//!
+//! Timestamps and durations are integer microseconds (see
+//! [`crate::time::SimTime::as_micros_rounded`]) so output is byte-stable
+//! across runs.
 //!
 //! The JSON is emitted directly (the format is flat and fixed) to keep the
 //! crate free of serialization dependencies.
 
-use std::fmt::Write as _;
-
 use crate::engine::ResourceId;
+use crate::telemetry::{escape_json, MetricsRecorder};
 use crate::trace::Trace;
 
-/// Escapes a string for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+fn slice_events(trace: &Trace, resource_names: &[&str]) -> Vec<String> {
+    let mut events = Vec::new();
+    for (tid, name) in resource_names.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape_json(name)
+        ));
+    }
+    for (tid, _) in resource_names.iter().enumerate() {
+        for iv in trace.intervals_on(ResourceId(tid)) {
+            let label = if iv.label.is_empty() {
+                "task"
+            } else {
+                &iv.label
+            };
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"kind":"{}"}}}}"#,
+                escape_json(label),
+                iv.kind,
+                iv.start.as_micros_rounded(),
+                iv.duration().as_micros_rounded(),
+                iv.kind,
+            ));
         }
     }
-    out
+    events
 }
 
 /// Serializes a [`Trace`] to the Chrome Trace Event JSON array format.
@@ -52,30 +66,22 @@ fn escape(s: &str) -> String {
 /// # }
 /// ```
 pub fn to_chrome_trace(trace: &Trace, resource_names: &[&str]) -> String {
-    let mut events = Vec::new();
-    for (tid, name) in resource_names.iter().enumerate() {
-        events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"{}"}}}}"#,
-            escape(name)
-        ));
-    }
-    for (tid, _) in resource_names.iter().enumerate() {
-        for iv in trace.intervals_on(ResourceId(tid)) {
-            let label = if iv.label.is_empty() {
-                "task"
-            } else {
-                &iv.label
-            };
-            events.push(format!(
-                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":0,"tid":{tid},"args":{{"kind":"{}"}}}}"#,
-                escape(label),
-                iv.kind,
-                iv.start.as_micros(),
-                iv.duration().as_micros(),
-                iv.kind,
-            ));
-        }
-    }
+    format!("[{}]", slice_events(trace, resource_names).join(",\n"))
+}
+
+/// Serializes a [`Trace`] plus the counter tracks of a [`MetricsRecorder`]
+/// into one Chrome Trace Event JSON array.
+///
+/// Slice events come first (as in [`to_chrome_trace`]), followed by one
+/// `"ph":"C"` counter event per telemetry sample — so a single file shows
+/// compute/transfer rows alongside memory-occupancy and bandwidth tracks.
+pub fn to_chrome_trace_with_counters(
+    trace: &Trace,
+    resource_names: &[&str],
+    metrics: &MetricsRecorder,
+) -> String {
+    let mut events = slice_events(trace, resource_names);
+    events.extend(metrics.chrome_counter_events(0));
     format!("[{}]", events.join(",\n"))
 }
 
@@ -83,6 +89,7 @@ pub fn to_chrome_trace(trace: &Trace, resource_names: &[&str]) -> String {
 mod tests {
     use super::*;
     use crate::engine::{Simulator, TaskSpec};
+    use crate::telemetry::validate_json;
     use crate::SimTime;
 
     fn sample() -> Trace {
@@ -110,6 +117,7 @@ mod tests {
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("\"bwd\""));
         assert!(json.contains("\"step\""));
+        validate_json(&json).unwrap();
     }
 
     #[test]
@@ -119,11 +127,44 @@ mod tests {
         assert!(json.contains(
             r#""name":"bwd","cat":"compute","ph":"X","ts":0,"dur":2000,"pid":0,"tid":0"#
         ));
-        // step: row 1, starts when bwd ends.
-        assert!(
-            json.contains(r#""name":"step","cat":"compute","ph":"X","ts":2000,"dur":1000"#)
-                || json.contains(r#""ts":2000.0000000000002"#)
-        );
+        // step: row 1, starts exactly when bwd ends — integer microseconds,
+        // no float jitter.
+        assert!(json.contains(
+            r#""name":"step","cat":"compute","ph":"X","ts":2000,"dur":1000,"pid":0,"tid":1"#
+        ));
+    }
+
+    #[test]
+    fn timestamps_are_integers() {
+        // A duration that is not representable exactly in binary floating
+        // point used to leak "2000.0000000000002"-style timestamps.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let a = sim
+            .add_task(TaskSpec::compute(gpu, SimTime::from_secs(0.002)))
+            .unwrap();
+        sim.add_task(TaskSpec::compute(gpu, SimTime::from_secs(0.001)).after(a))
+            .unwrap();
+        let json = to_chrome_trace(&sim.run().unwrap(), &["gpu"]);
+        assert!(!json.contains("ts\":2000."), "float jitter in: {json}");
+        assert!(json.contains(r#""ts":2000,"#));
+    }
+
+    #[test]
+    fn counters_are_appended_after_slices() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        sim.add_task(TaskSpec::compute(gpu, SimTime::from_millis(1.0)).with_label("fwd"))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        let mut rec = MetricsRecorder::new();
+        rec.sample_us("mem:hbm", "bytes", 0, 42.0);
+        rec.sample_us("mem:hbm", "bytes", 1000, 0.0);
+        let json = to_chrome_trace_with_counters(&trace, &["gpu"], &rec);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains(r#""name":"mem:hbm","ph":"C","ts":0,"pid":0,"args":{"bytes":42}"#));
+        validate_json(&json).unwrap();
     }
 
     #[test]
@@ -138,6 +179,7 @@ mod tests {
         assert!(json.contains(r#"g\"pu"#));
         // No raw control characters or unescaped quotes inside strings.
         assert!(!json.contains('\n') || json.matches('\n').count() == json.matches(",\n").count());
+        validate_json(&json).unwrap();
     }
 
     #[test]
@@ -148,5 +190,6 @@ mod tests {
         let json = to_chrome_trace(&trace, &["gpu"]);
         assert!(json.contains("thread_name"));
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+        validate_json(&json).unwrap();
     }
 }

@@ -12,12 +12,20 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::error::SimError;
+use crate::telemetry::MetricsRecorder;
 use crate::time::SimTime;
 use crate::trace::{Interval, Trace};
 
 /// Opaque identifier of a simulated resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// Index of this resource in registration order (its trace row / tid).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Opaque identifier of a scheduled task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -242,6 +250,27 @@ impl Simulator {
     /// ready. (This is defensive: `add_task` already prevents forward
     /// references, so a cycle cannot normally be constructed.)
     pub fn run(&mut self) -> Result<Trace, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Executes the task graph like [`Simulator::run`] while feeding
+    /// telemetry into `rec`.
+    ///
+    /// The resulting trace is identical to an uninstrumented run. Recorded:
+    ///
+    /// * `tasks.<kind>` counters (executed task count per [`TaskKind`]),
+    /// * `queue-wait:<resource>` tracks (µs a transfer/collective task spent
+    ///   waiting for its resource after its dependencies finished — the
+    ///   link-contention queueing delay),
+    /// * `busy-us:<resource>` and `makespan-us` gauges.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Simulator::run`].
+    pub fn run_instrumented(&mut self, rec: &mut MetricsRecorder) -> Result<Trace, SimError> {
+        self.run_inner(Some(rec))
+    }
+
+    fn run_inner(&mut self, mut rec: Option<&mut MetricsRecorder>) -> Result<Trace, SimError> {
         let n = self.tasks.len();
         // Ready queue: (ready_at, task id), minimum first.
         let mut ready: BinaryHeap<Reverse<(SimTime, TaskId)>> = BinaryHeap::new();
@@ -265,6 +294,18 @@ impl Simulator {
                 let s = ready_at.max(resource_free[resource.0]);
                 start = s;
                 end = s + task.spec.duration;
+            }
+            if let Some(rec) = rec.as_deref_mut() {
+                rec.add(&format!("tasks.{kind}"), 1);
+                if matches!(kind, TaskKind::Transfer | TaskKind::Collective) {
+                    let res_name = &self.resources[resource.0];
+                    rec.sample(
+                        &format!("queue-wait:{res_name}"),
+                        "us",
+                        start,
+                        start.saturating_sub(ready_at).as_micros(),
+                    );
+                }
             }
             resource_free[resource.0] = end;
             intervals[id.0] = Some(Interval {
@@ -295,7 +336,18 @@ impl Simulator {
         }
 
         let intervals: Vec<Interval> = intervals.into_iter().map(Option::unwrap).collect();
-        Ok(Trace::new(self.resources.clone(), intervals))
+        let trace = Trace::new(self.resources.clone(), intervals);
+        if let Some(rec) = rec {
+            let mut busy = vec![SimTime::ZERO; self.resources.len()];
+            for iv in trace.intervals() {
+                busy[iv.resource.0] += iv.duration();
+            }
+            for (name, b) in self.resources.iter().zip(&busy) {
+                rec.set_gauge(&format!("busy-us:{name}"), b.as_micros());
+            }
+            rec.set_gauge("makespan-us", trace.makespan().as_micros());
+        }
+        Ok(trace)
     }
 }
 
@@ -434,6 +486,41 @@ mod tests {
         let trace = sim.run().unwrap();
         assert_eq!(trace.end_time(d).unwrap(), ms(6.0));
         assert_eq!(trace.makespan(), ms(6.0));
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_records() {
+        use crate::telemetry::MetricsRecorder;
+        let build = |sim: &mut Simulator| {
+            let gpu = sim.add_resource("gpu");
+            let link = sim.add_resource("link");
+            let a = sim.add_task(TaskSpec::compute(gpu, ms(2.0))).unwrap();
+            let b = sim
+                .add_task(TaskSpec::transfer(link, ms(3.0)).after(a))
+                .unwrap();
+            // Second transfer queued behind the first: 2 ms of queueing.
+            sim.add_task(TaskSpec::transfer(link, ms(1.0)).after(a))
+                .unwrap();
+            (a, b)
+        };
+        let mut plain = Simulator::new();
+        build(&mut plain);
+        let reference = plain.run().unwrap();
+
+        let mut sim = Simulator::new();
+        build(&mut sim);
+        let mut rec = MetricsRecorder::new();
+        let trace = sim.run_instrumented(&mut rec).unwrap();
+
+        assert_eq!(trace.makespan(), reference.makespan());
+        assert_eq!(rec.counter("tasks.compute"), 1);
+        assert_eq!(rec.counter("tasks.transfer"), 2);
+        let waits = rec.track("queue-wait:link").unwrap();
+        assert_eq!(waits.samples.len(), 2);
+        assert_eq!(waits.samples[0].1, 0.0); // first transfer starts immediately
+        assert!((waits.samples[1].1 - 3000.0).abs() < 1e-9); // queued behind it
+        assert_eq!(rec.gauge("busy-us:gpu"), Some(2000.0));
+        assert_eq!(rec.gauge("makespan-us"), Some(6000.0));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod error;
 pub mod link;
 pub mod memory;
 pub mod presets;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -57,6 +58,7 @@ pub use engine::{Simulator, TaskId, TaskKind, TaskSpec};
 pub use error::SimError;
 pub use link::{BandwidthCurve, Link, LinkKind};
 pub use memory::MemoryPool;
+pub use telemetry::{CounterTrack, MetricsRecorder};
 pub use time::SimTime;
 pub use topology::{ChipSpec, ClusterSpec, ComputeDevice, NodeSpec, NumaBinding};
 pub use trace::{ResourceStats, Trace};
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::link::{BandwidthCurve, Link, LinkKind};
     pub use crate::memory::MemoryPool;
     pub use crate::presets;
+    pub use crate::telemetry::{CounterTrack, MetricsRecorder};
     pub use crate::time::SimTime;
     pub use crate::topology::{ChipSpec, ClusterSpec, ComputeDevice, NodeSpec, NumaBinding};
     pub use crate::trace::{ResourceStats, Trace};

@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use crate::telemetry::MetricsRecorder;
 use crate::time::SimTime;
 
 /// The physical technology of a link (affects presets, not the cost model).
@@ -168,6 +169,34 @@ impl Link {
     pub fn latency(&self) -> SimTime {
         SimTime::from_secs(self.curve.latency_secs)
     }
+
+    /// Records one executed transfer of `bytes` over the interval
+    /// `[start, end]` into `rec` under track name `track` (typically the
+    /// resource name, e.g. `c2c-d2h`):
+    ///
+    /// * a `bw:<track>` counter track (GB/s) sampling the *achieved*
+    ///   bandwidth at `start` and dropping to 0 at `end`, so Perfetto shows
+    ///   a bandwidth-over-time staircase,
+    /// * `bytes:<track>` and `transfers:<track>` counters.
+    ///
+    /// Zero-duration transfers record the counters but no bandwidth sample.
+    pub fn record_transfer(
+        &self,
+        rec: &mut MetricsRecorder,
+        track: &str,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+    ) {
+        rec.add(&format!("transfers:{track}"), 1);
+        rec.add(&format!("bytes:{track}"), bytes);
+        let dur = end.saturating_sub(start).as_secs();
+        if dur > 0.0 {
+            let gbps = bytes as f64 / dur / 1e9;
+            rec.sample(&format!("bw:{track}"), "GB/s", start, gbps);
+            rec.sample(&format!("bw:{track}"), "GB/s", end, 0.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +266,33 @@ mod tests {
         let c = c2c();
         assert!(c.saturation_size(0.5) < c.saturation_size(0.9));
         assert!(c.saturation_size(0.9) < c.saturation_size(0.99));
+    }
+
+    #[test]
+    fn record_transfer_samples_achieved_bandwidth() {
+        let link = Link::new(LinkKind::NvlinkC2c, c2c());
+        let mut rec = MetricsRecorder::new();
+        let start = SimTime::from_micros(100.0);
+        let end = start + SimTime::from_secs(0.001); // 1 ms for 100 MB -> 100 GB/s
+        link.record_transfer(&mut rec, "c2c-d2h", start, end, 100_000_000);
+        assert_eq!(rec.counter("transfers:c2c-d2h"), 1);
+        assert_eq!(rec.counter("bytes:c2c-d2h"), 100_000_000);
+        let track = rec.track("bw:c2c-d2h").unwrap();
+        assert_eq!(track.unit, "GB/s");
+        assert_eq!(track.samples.len(), 2);
+        assert!((track.samples[0].1 - 100.0).abs() < 1e-9);
+        assert_eq!(track.samples[1].1, 0.0);
+        assert!(track.samples[0].0 < track.samples[1].0);
+    }
+
+    #[test]
+    fn zero_duration_transfer_records_counters_only() {
+        let link = Link::new(LinkKind::NvlinkC2c, c2c());
+        let mut rec = MetricsRecorder::new();
+        let t = SimTime::from_micros(5.0);
+        link.record_transfer(&mut rec, "x", t, t, 64);
+        assert_eq!(rec.counter("bytes:x"), 64);
+        assert!(rec.track("bw:x").is_none());
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! Pools are used by schedule builders to decide whether a model-state
 //! placement fits (the paper's Fig. 13 "largest trainable model" experiment
 //! is a search over these placements) and to report peak usage.
+//!
+//! For telemetry, the timed variants [`MemoryPool::allocate_at`] /
+//! [`MemoryPool::free_at`] additionally record an occupancy timeline that
+//! [`MemoryPool::record_into`] exports as a `mem:<name>` counter track plus
+//! peak/capacity gauges.
 
 use crate::error::SimError;
+use crate::telemetry::MetricsRecorder;
+use crate::time::SimTime;
 
 /// A fixed-capacity memory pool with allocation tracking.
 ///
@@ -22,6 +29,9 @@ pub struct MemoryPool {
     capacity: u64,
     allocated: u64,
     peak: u64,
+    /// Occupancy samples `(integer microseconds, allocated bytes)` recorded
+    /// by the timed allocation variants, in call order.
+    timeline: Vec<(u64, u64)>,
 }
 
 impl MemoryPool {
@@ -32,6 +42,7 @@ impl MemoryPool {
             capacity,
             allocated: 0,
             peak: 0,
+            timeline: Vec::new(),
         }
     }
 
@@ -106,9 +117,55 @@ impl MemoryPool {
         Ok(())
     }
 
-    /// Releases everything, keeping the peak statistic.
+    /// Releases everything, keeping the peak statistic and the timeline.
     pub fn reset(&mut self) {
         self.allocated = 0;
+    }
+
+    /// Allocates `bytes` and records the new occupancy at simulated time
+    /// `at` on the pool's timeline.
+    ///
+    /// # Errors
+    /// Returns [`SimError::OutOfMemory`] if the pool lacks space (in which
+    /// case nothing is recorded).
+    pub fn allocate_at(&mut self, bytes: u64, at: SimTime) -> Result<(), SimError> {
+        self.allocate(bytes)?;
+        self.timeline.push((at.as_micros_rounded(), self.allocated));
+        Ok(())
+    }
+
+    /// Releases `bytes` and records the new occupancy at simulated time
+    /// `at` on the pool's timeline.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidFree`] if more bytes are freed than are
+    /// currently allocated (in which case nothing is recorded).
+    pub fn free_at(&mut self, bytes: u64, at: SimTime) -> Result<(), SimError> {
+        self.free(bytes)?;
+        self.timeline.push((at.as_micros_rounded(), self.allocated));
+        Ok(())
+    }
+
+    /// Occupancy samples `(integer microseconds, allocated bytes)` recorded
+    /// so far, in call order.
+    pub fn timeline(&self) -> &[(u64, u64)] {
+        &self.timeline
+    }
+
+    /// Exports the pool's occupancy timeline as a `mem:<name>` counter track
+    /// (unit `bytes`) plus `peak-bytes:<name>` and `capacity-bytes:<name>`
+    /// gauges on `rec`.
+    pub fn record_into(&self, rec: &mut MetricsRecorder) {
+        let mut samples = self.timeline.clone();
+        samples.sort_by_key(|&(ts, _)| ts);
+        for (ts, allocated) in samples {
+            rec.sample_us(&format!("mem:{}", self.name), "bytes", ts, allocated as f64);
+        }
+        rec.set_gauge(&format!("peak-bytes:{}", self.name), self.peak as f64);
+        rec.set_gauge(
+            &format!("capacity-bytes:{}", self.name),
+            self.capacity as f64,
+        );
     }
 }
 
@@ -177,5 +234,38 @@ mod tests {
     fn zero_capacity_occupancy_is_zero() {
         let pool = MemoryPool::new("null", 0);
         assert_eq!(pool.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn timed_allocations_build_a_timeline() {
+        let mut pool = MemoryPool::new("hbm", 4 * GIB);
+        pool.allocate_at(GIB, SimTime::ZERO).unwrap();
+        pool.allocate_at(2 * GIB, SimTime::from_micros(10.0))
+            .unwrap();
+        pool.free_at(GIB, SimTime::from_micros(25.0)).unwrap();
+        assert_eq!(pool.timeline(), &[(0, GIB), (10, 3 * GIB), (25, 2 * GIB)]);
+        assert_eq!(pool.peak(), 3 * GIB);
+    }
+
+    #[test]
+    fn failed_timed_allocation_records_nothing() {
+        let mut pool = MemoryPool::new("hbm", GIB);
+        assert!(pool.allocate_at(2 * GIB, SimTime::ZERO).is_err());
+        assert!(pool.free_at(1, SimTime::ZERO).is_err());
+        assert!(pool.timeline().is_empty());
+    }
+
+    #[test]
+    fn record_into_exports_track_and_gauges() {
+        let mut pool = MemoryPool::new("hbm", 2 * GIB);
+        pool.allocate_at(GIB, SimTime::from_micros(5.0)).unwrap();
+        pool.free_at(GIB, SimTime::from_micros(9.0)).unwrap();
+        let mut rec = crate::telemetry::MetricsRecorder::new();
+        pool.record_into(&mut rec);
+        let track = rec.track("mem:hbm").unwrap();
+        assert_eq!(track.unit, "bytes");
+        assert_eq!(track.samples, vec![(5, GIB as f64), (9, 0.0)]);
+        assert_eq!(rec.gauge("peak-bytes:hbm"), Some(GIB as f64));
+        assert_eq!(rec.gauge("capacity-bytes:hbm"), Some(2.0 * GIB as f64));
     }
 }

@@ -1,0 +1,580 @@
+//! Cross-plane telemetry: counters, gauges, and time-series counter tracks.
+//!
+//! The paper argues with timelines *and* resource plots (memory occupancy in
+//! Fig. 10–13, bandwidth utilization in Fig. 7, speculation behaviour in
+//! Fig. 14). A plain busy/idle trace cannot show those, so the simulator,
+//! [`crate::memory::MemoryPool`], and [`crate::link::Link`] feed a
+//! [`MetricsRecorder`] during a run:
+//!
+//! * **counters** — monotonically increasing event counts (`tasks.compute`,
+//!   `transfers:c2c-d2h`, ...),
+//! * **gauges** — single summary values (`peak-bytes:hbm`, `busy-us:gpu`),
+//! * **tracks** — time-series of `(microsecond, value)` samples that export
+//!   as Perfetto counter events (`"ph":"C"`) next to the slice rows.
+//!
+//! Everything is deterministic: keys are stored in [`BTreeMap`]s, timestamps
+//! are integer microseconds, and [`MetricsRecorder::snapshot_json`] emits a
+//! versioned snapshot that is byte-identical across repeated runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Schema identifier stamped into [`MetricsRecorder::snapshot_json`] output.
+pub const METRICS_SCHEMA: &str = "superoffload.metrics/v1";
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `0`, which
+/// cannot be represented in JSON).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A time-series counter track: `(integer microsecond, value)` samples plus
+/// a unit label, exported as one Perfetto counter row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterTrack {
+    /// Unit of the sampled values (`"bytes"`, `"GB/s"`, `"us"`, ...).
+    pub unit: String,
+    /// Samples in insertion order; timestamps are integer microseconds.
+    pub samples: Vec<(u64, f64)>,
+}
+
+impl CounterTrack {
+    /// Largest sampled value, or 0 for an empty track.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().fold(0.0, |m, &(_, v)| m.max(v))
+    }
+}
+
+/// Collects counters, gauges, and counter tracks during a run.
+///
+/// ```
+/// use superchip_sim::telemetry::MetricsRecorder;
+/// use superchip_sim::SimTime;
+/// let mut rec = MetricsRecorder::new();
+/// rec.add("tasks.compute", 3);
+/// rec.set_gauge("peak-bytes:hbm", 1024.0);
+/// rec.sample("mem:hbm", "bytes", SimTime::from_micros(5.0), 1024.0);
+/// assert_eq!(rec.counter("tasks.compute"), 3);
+/// assert_eq!(rec.track("mem:hbm").unwrap().samples, vec![(5, 1024.0)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRecorder {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    tracks: BTreeMap<String, CounterTrack>,
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by `n` (creating it at zero first).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, ordered by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Sets gauge `name` to `value`, overwriting any previous value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges, ordered by name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// Appends a sample to track `track` at integer microsecond `ts_us`.
+    ///
+    /// The unit is fixed by the first sample; later calls may pass the same
+    /// unit (or anything — the first one wins).
+    pub fn sample_us(&mut self, track: &str, unit: &str, ts_us: u64, value: f64) {
+        let t = self.tracks.entry(track.to_string()).or_default();
+        if t.unit.is_empty() {
+            t.unit = unit.to_string();
+        }
+        t.samples.push((ts_us, value));
+    }
+
+    /// Appends a sample to track `track` at simulated time `at` (rounded to
+    /// integer microseconds).
+    pub fn sample(&mut self, track: &str, unit: &str, at: SimTime, value: f64) {
+        self.sample_us(track, unit, at.as_micros_rounded(), value);
+    }
+
+    /// The named track, if any samples were recorded.
+    pub fn track(&self, name: &str) -> Option<&CounterTrack> {
+        self.tracks.get(name)
+    }
+
+    /// All tracks, ordered by name.
+    pub fn tracks(&self) -> &BTreeMap<String, CounterTrack> {
+        &self.tracks
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.tracks.is_empty()
+    }
+
+    /// Renders every track as Chrome Trace Event counter events
+    /// (`"ph":"C"`), one JSON object per sample, suitable for appending to a
+    /// trace's event array.
+    ///
+    /// Samples within a track are emitted time-sorted (stable, so same-
+    /// timestamp samples keep insertion order and the last one wins in
+    /// Perfetto's rendering).
+    pub fn chrome_counter_events(&self, pid: u32) -> Vec<String> {
+        let mut events = Vec::new();
+        for (name, track) in &self.tracks {
+            let mut samples = track.samples.clone();
+            samples.sort_by_key(|&(ts, _)| ts);
+            let arg = if track.unit.is_empty() {
+                "value".to_string()
+            } else {
+                escape_json(&track.unit)
+            };
+            for (ts, v) in samples {
+                events.push(format!(
+                    r#"{{"name":"{}","ph":"C","ts":{ts},"pid":{pid},"args":{{"{arg}":{}}}}}"#,
+                    escape_json(name),
+                    json_num(v),
+                ));
+            }
+        }
+        events
+    }
+
+    /// Serializes the recorder as a deterministic, versioned JSON object.
+    ///
+    /// `meta` entries (string key/value pairs, emitted in the given order)
+    /// identify the run — system name, workload, schema extensions. The
+    /// output is byte-identical across repeated identical runs: keys are
+    /// sorted, timestamps are integers, and no wall-clock values appear.
+    pub fn snapshot_json(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", escape_json(METRICS_SCHEMA));
+        out.push_str("  \"meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": \"{}\"", escape_json(k), escape_json(v));
+        }
+        if !meta.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {v}", escape_json(k));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", escape_json(k), json_num(*v));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"tracks\": {");
+        for (i, (k, track)) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"unit\": \"{}\", \"samples\": [",
+                escape_json(k),
+                escape_json(&track.unit)
+            );
+            let mut samples = track.samples.clone();
+            samples.sort_by_key(|&(ts, _)| ts);
+            for (j, (ts, v)) in samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{ts},{}]", json_num(*v));
+            }
+            out.push_str("]}");
+        }
+        if !self.tracks.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Validates that `s` is one well-formed JSON value with nothing trailing.
+///
+/// A minimal recursive-descent checker (objects, arrays, strings with
+/// escapes, numbers, `true`/`false`/`null`) so tests and the `repro` CLI can
+/// verify emitted traces and snapshots without a serialization dependency.
+///
+/// # Errors
+/// Returns a human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonChecker {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct JsonChecker<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonChecker<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.i
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.i
+                            ))
+                        }
+                    }
+                }
+                c if c < 0x20 => return Err(format!("raw control character at byte {}", self.i)),
+                _ => self.i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut rec = MetricsRecorder::new();
+        rec.add("tasks.compute", 2);
+        rec.add("tasks.compute", 3);
+        rec.set_gauge("peak-bytes:hbm", 7.0);
+        rec.set_gauge("peak-bytes:hbm", 9.0);
+        assert_eq!(rec.counter("tasks.compute"), 5);
+        assert_eq!(rec.counter("missing"), 0);
+        assert_eq!(rec.gauge("peak-bytes:hbm"), Some(9.0));
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn samples_round_to_integer_micros() {
+        let mut rec = MetricsRecorder::new();
+        rec.sample(
+            "mem:hbm",
+            "bytes",
+            SimTime::from_secs(0.002_000_000_000_3),
+            4.0,
+        );
+        assert_eq!(rec.track("mem:hbm").unwrap().samples, vec![(2000, 4.0)]);
+        assert_eq!(rec.track("mem:hbm").unwrap().unit, "bytes");
+    }
+
+    #[test]
+    fn counter_events_are_sorted_and_valid_json() {
+        let mut rec = MetricsRecorder::new();
+        rec.sample_us("mem:hbm", "bytes", 10, 2.0);
+        rec.sample_us("mem:hbm", "bytes", 5, 1.0);
+        let events = rec.chrome_counter_events(0);
+        assert_eq!(events.len(), 2);
+        assert!(events[0].contains(r#""ts":5"#));
+        assert!(events[1].contains(r#""ts":10"#));
+        for e in &events {
+            assert!(e.contains(r#""ph":"C""#));
+            validate_json(e).unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_is_valid_and_deterministic() {
+        let build = || {
+            let mut rec = MetricsRecorder::new();
+            rec.add("b", 1);
+            rec.add("a", 2);
+            rec.set_gauge("g", 1.5);
+            rec.sample_us("t", "us", 3, 0.5);
+            rec.snapshot_json(&[("system", "demo".to_string())])
+        };
+        let one = build();
+        let two = build();
+        assert_eq!(one, two);
+        validate_json(&one).unwrap();
+        assert!(one.contains("superoffload.metrics/v1"));
+        // BTreeMap ordering: "a" before "b".
+        assert!(one.find("\"a\"").unwrap() < one.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let rec = MetricsRecorder::new();
+        let json = rec.snapshot_json(&[]);
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json(r#"{"a": [1, -2.5, 3e-4], "b": "x\"\n", "c": null}"#).unwrap();
+        validate_json("[]").unwrap();
+        validate_json("true").unwrap();
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json(r#"{"a" 1}"#).is_err());
+        assert!(validate_json("1 2").is_err());
+        assert!(validate_json("01").is_ok()); // lenient: digits only
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("nul").is_err());
+    }
+
+    #[test]
+    fn non_finite_values_stay_json_safe() {
+        let mut rec = MetricsRecorder::new();
+        rec.set_gauge("bad", f64::NAN);
+        rec.sample_us("t", "x", 0, f64::INFINITY);
+        let json = rec.snapshot_json(&[]);
+        validate_json(&json).unwrap();
+        for e in rec.chrome_counter_events(0) {
+            validate_json(&e).unwrap();
+        }
+    }
+}

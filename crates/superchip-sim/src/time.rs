@@ -65,6 +65,14 @@ impl SimTime {
         self.0 * 1e6
     }
 
+    /// Returns the time rounded to the nearest integer microsecond.
+    ///
+    /// Trace and telemetry output uses integer timestamps so emitted files
+    /// are stable across runs (no `2000.0000000000002` float jitter).
+    pub fn as_micros_rounded(self) -> u64 {
+        (self.0 * 1e6).round() as u64
+    }
+
     /// Returns the larger of two times.
     pub fn max(self, other: SimTime) -> SimTime {
         if other.0 > self.0 {
@@ -216,6 +224,14 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn micros_round_to_integer() {
+        assert_eq!(SimTime::from_secs(0.002).as_micros_rounded(), 2000);
+        assert_eq!(SimTime::from_micros(2000.4).as_micros_rounded(), 2000);
+        assert_eq!(SimTime::from_micros(2000.6).as_micros_rounded(), 2001);
+        assert_eq!(SimTime::ZERO.as_micros_rounded(), 0);
     }
 
     #[test]

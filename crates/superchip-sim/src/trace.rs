@@ -86,6 +86,12 @@ impl Trace {
         self.makespan
     }
 
+    /// Names of all resources, in registration order (row order for
+    /// timeline exports).
+    pub fn resource_names(&self) -> &[String] {
+        &self.resource_names
+    }
+
     /// Start time of a task, if it was part of this run.
     pub fn start_time(&self, task: TaskId) -> Option<SimTime> {
         self.by_task.get(&task).map(|&i| self.intervals[i].start)
@@ -94,6 +100,11 @@ impl Trace {
     /// End time of a task, if it was part of this run.
     pub fn end_time(&self, task: TaskId) -> Option<SimTime> {
         self.by_task.get(&task).map(|&i| self.intervals[i].end)
+    }
+
+    /// The executed interval of a task, if it was part of this run.
+    pub fn interval(&self, task: TaskId) -> Option<&Interval> {
+        self.by_task.get(&task).map(|&i| &self.intervals[i])
     }
 
     /// All executed intervals, in submission order.

@@ -110,6 +110,75 @@ impl StvStats {
     }
 }
 
+/// Wall-clock accumulator for one instrumented phase of the training step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Times the phase executed.
+    pub count: u64,
+    /// Total wall-clock seconds across executions.
+    pub total_secs: f64,
+}
+
+impl SpanStats {
+    /// Records one execution that started at `from`.
+    fn record(&mut self, from: std::time::Instant) {
+        self.count += 1;
+        self.total_secs += from.elapsed().as_secs_f64();
+    }
+
+    /// Counts an occurrence with no measurable work (e.g. a logical
+    /// rollback the synchronous engine never had to materialize).
+    fn bump(&mut self) {
+        self.count += 1;
+    }
+
+    /// Mean seconds per execution (zero when the phase never ran).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs / self.count as f64
+        }
+    }
+}
+
+/// Wall-clock span totals for the phases of a training step, accumulated
+/// across a run. These time the *real* numeric engine (host wall-clock, not
+/// simulated time), so they are diagnostic output — they never enter the
+/// deterministic run-profile snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineSpans {
+    /// Speculative per-bucket optimizer execution (the concurrent
+    /// speculate+validate window in STV; never runs in the sync engine).
+    pub speculate: SpanStats,
+    /// Overflow scan and global-norm reduction (verdict collection in STV;
+    /// the post-wait check in the sync engine).
+    pub validate: SpanStats,
+    /// In-place state restoration after a failed validation. The count
+    /// always equals [`StvStats::rollbacks`]; in the sync engine the time
+    /// is zero because nothing was speculated.
+    pub rollback: SpanStats,
+    /// The committed optimizer step (the clipped re-execution in STV; the
+    /// main Adam step in the sync engine).
+    pub optimizer_step: SpanStats,
+}
+
+impl EngineSpans {
+    /// Folds the span totals into a recorder: `span.<phase>.count` counters
+    /// and `span.<phase>.total-secs` gauges.
+    pub fn record_into(&self, rec: &mut superchip_sim::telemetry::MetricsRecorder) {
+        for (name, span) in [
+            ("speculate", &self.speculate),
+            ("validate", &self.validate),
+            ("rollback", &self.rollback),
+            ("optimizer-step", &self.optimizer_step),
+        ] {
+            rec.add(&format!("span.{name}.count"), span.count);
+            rec.set_gauge(&format!("span.{name}.total-secs"), span.total_secs);
+        }
+    }
+}
+
 /// Shared engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -188,6 +257,7 @@ pub struct SyncEngine {
     cfg: EngineConfig,
     step: u64,
     stats: StvStats,
+    spans: EngineSpans,
 }
 
 impl SyncEngine {
@@ -201,6 +271,7 @@ impl SyncEngine {
             cfg,
             step: 0,
             stats: StvStats::default(),
+            spans: EngineSpans::default(),
         }
     }
 
@@ -212,6 +283,11 @@ impl SyncEngine {
     /// Run statistics so far.
     pub fn stats(&self) -> StvStats {
         self.stats
+    }
+
+    /// Wall-clock span totals accumulated so far.
+    pub fn spans(&self) -> EngineSpans {
+        self.spans
     }
 
     /// Snapshots the full training state.
@@ -256,8 +332,12 @@ impl SyncEngine {
 
         // Wait-for-everything, then validate (the STE ordering). The
         // round-trip already baked any overflow into the values as ±inf.
+        let validate_from = std::time::Instant::now();
         let overflow = grads.iter().any(|g| !g.is_finite());
         if overflow {
+            self.spans.validate.record(validate_from);
+            // Nothing was speculated, so the "rollback" is purely logical.
+            self.spans.rollback.bump();
             self.scaler.update_with(true);
             self.stats.skipped += 1;
             return Ok(StepOutcome::Skipped { loss });
@@ -277,7 +357,9 @@ impl SyncEngine {
         let norm = norm_from_partials(&partials);
         let factor = clip_factor(norm, self.cfg.max_grad_norm);
         apply_clip(&mut grads, factor);
+        self.spans.validate.record(validate_from);
 
+        let step_from = std::time::Instant::now();
         self.step += 1;
         GraceAdam::default().step(
             &self.cfg.adam,
@@ -286,8 +368,10 @@ impl SyncEngine {
             &grads,
             &mut self.state,
         );
+        self.spans.optimizer_step.record(step_from);
         self.stats.steps += 1;
         if factor < 1.0 {
+            self.spans.rollback.bump();
             self.stats.clip_rollbacks += 1; // counted as "would clip" events
             Ok(StepOutcome::Clipped {
                 loss,
@@ -311,6 +395,7 @@ pub struct StvEngine {
     cfg: EngineConfig,
     step: u64,
     stats: StvStats,
+    spans: EngineSpans,
 }
 
 /// Per-bucket validation result produced by the validator thread.
@@ -332,6 +417,7 @@ impl StvEngine {
             cfg,
             step: 0,
             stats: StvStats::default(),
+            spans: EngineSpans::default(),
         }
     }
 
@@ -343,6 +429,11 @@ impl StvEngine {
     /// Run statistics so far.
     pub fn stats(&self) -> StvStats {
         self.stats
+    }
+
+    /// Wall-clock span totals accumulated so far.
+    pub fn spans(&self) -> EngineSpans {
+        self.spans
     }
 
     /// Snapshots the full training state.
@@ -408,6 +499,7 @@ impl StvEngine {
         let grads_ref: &[f32] = &grads;
         let ranges_ref: &[std::ops::Range<usize>] = &ranges;
 
+        let speculate_from = std::time::Instant::now();
         {
             // Split params and moments into disjoint bucket slices.
             let mut param_slices: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
@@ -474,18 +566,24 @@ impl StvEngine {
             });
         }
 
+        self.spans.speculate.record(speculate_from);
+
         // --- Collect verdicts ---------------------------------------------
+        let validate_from = std::time::Instant::now();
         let mut verdicts: Vec<BucketVerdict> = verdict_rx.iter().collect();
         verdicts.sort_by_key(|v| v.index);
         let overflow = verdicts.iter().any(|v| v.overflow);
         let partials: Vec<f64> = verdicts.iter().map(|v| v.sum_sq_unscaled).collect();
         let norm = norm_from_partials(&partials);
+        self.spans.validate.record(validate_from);
 
         if overflow {
             // Rollback: restore every bucket, skip the iteration.
+            let rollback_from = std::time::Instant::now();
             for g in &guards {
                 g.restore(self.model.params_mut(), &mut self.state);
             }
+            self.spans.rollback.record(rollback_from);
             self.scaler.update_with(true);
             self.stats.skipped += 1;
             return Ok(StepOutcome::Skipped { loss });
@@ -495,9 +593,12 @@ impl StvEngine {
         let factor = clip_factor(norm, self.cfg.max_grad_norm);
         if factor < 1.0 {
             // Rollback and re-execute with clipped gradients.
+            let rollback_from = std::time::Instant::now();
             for g in &guards {
                 g.restore(self.model.params_mut(), &mut self.state);
             }
+            self.spans.rollback.record(rollback_from);
+            let step_from = std::time::Instant::now();
             apply_clip(&mut grads, factor);
             GraceAdam::default().step(
                 &self.cfg.adam,
@@ -506,6 +607,7 @@ impl StvEngine {
                 &grads,
                 &mut self.state,
             );
+            self.spans.optimizer_step.record(step_from);
             self.step = speculative_step;
             self.stats.steps += 1;
             self.stats.clip_rollbacks += 1;
@@ -760,5 +862,58 @@ mod tests {
             clip_rollbacks: 3,
         };
         assert_eq!(s.rollbacks(), 5);
+    }
+
+    #[test]
+    fn span_counters_agree_with_stats() {
+        // Tight clipping plus an overflowing loss scale exercises every
+        // phase; the rollback span count must equal the stats' rollback
+        // total in both engines.
+        let stress = EngineConfig {
+            max_grad_norm: 0.05,
+            initial_loss_scale: 1e9,
+            buckets: 3,
+            ..EngineConfig::default()
+        };
+        let mut sync = SyncEngine::new(tiny(), stress);
+        let mut stv = StvEngine::new(tiny(), stress);
+        let mut pile = SyntheticPile::new(37, 13);
+        for _ in 0..25 {
+            let batch = pile.next_batch(2, 12);
+            sync.train_step(&batch).unwrap();
+            stv.train_step(&batch).unwrap();
+        }
+        for (spans, stats) in [(sync.spans(), sync.stats()), (stv.spans(), stv.stats())] {
+            assert_eq!(spans.rollback.count, stats.rollbacks());
+            assert_eq!(spans.validate.count, stats.steps + stats.skipped);
+            assert!(stats.skipped > 0 && stats.clip_rollbacks > 0);
+        }
+        // Speculation happens on every STV step, never in the sync engine.
+        assert_eq!(
+            stv.spans().speculate.count,
+            stv.stats().steps + stv.stats().skipped
+        );
+        assert_eq!(sync.spans().speculate.count, 0);
+        assert!(stv.spans().speculate.total_secs >= 0.0);
+        assert!(stv.spans().speculate.mean_secs() >= 0.0);
+        assert_eq!(sync.spans().speculate.mean_secs(), 0.0);
+    }
+
+    #[test]
+    fn spans_fold_into_recorder() {
+        let mut stv = StvEngine::new(tiny(), cfg());
+        let mut pile = SyntheticPile::new(37, 5);
+        for _ in 0..5 {
+            let batch = pile.next_batch(2, 12);
+            stv.train_step(&batch).unwrap();
+        }
+        let mut rec = superchip_sim::telemetry::MetricsRecorder::new();
+        stv.spans().record_into(&mut rec);
+        assert_eq!(
+            rec.counter("span.speculate.count"),
+            stv.spans().speculate.count
+        );
+        assert!(rec.gauge("span.optimizer-step.total-secs").is_some());
+        assert!(rec.gauge("span.rollback.total-secs").is_some());
     }
 }

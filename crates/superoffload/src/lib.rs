@@ -51,10 +51,10 @@ pub use bucket::BucketPlan;
 pub use casting::CastPlacement;
 pub use checkpoint::Checkpoint;
 pub use costs::OptimizerImpl;
-pub use engine::{StvEngine, StvStats, SyncEngine};
+pub use engine::{EngineSpans, SpanStats, StvEngine, StvStats, SyncEngine};
 pub use engine_dp::{DpStvEngine, DpSyncEngine};
 pub use policy::WeightPolicy;
-pub use report::TrainReport;
-pub use schedule::{simulate_single_chip, SuperOffloadOptions};
+pub use report::{RunProfile, TrainReport};
+pub use schedule::{simulate_single_chip, simulate_single_chip_profiled, SuperOffloadOptions};
 pub use system::{Infeasible, OffloadSystem, SuperOffload, SystemRegistry};
 pub use trainer::{Discipline, Trainer};

@@ -1,9 +1,14 @@
-//! The common result type every schedule simulation produces.
+//! The common result type every schedule simulation produces, plus the
+//! machine-readable run profile that bundles it with a trace and telemetry.
 
 use std::fmt;
 
 use llm_model::workload::ExecutionPlan;
-use superchip_sim::SimTime;
+use superchip_sim::chrome_trace::to_chrome_trace_with_counters;
+use superchip_sim::telemetry::MetricsRecorder;
+use superchip_sim::{SimTime, TaskKind, Trace};
+
+use crate::engine::StvStats;
 
 /// Outcome of simulating a training system on a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +27,13 @@ pub struct TrainReport {
     pub gpu_util: f64,
     /// CPU busy fraction over the steady-state iteration.
     pub cpu_util: f64,
+    /// Memory-pool high-water marks `(pool name, peak bytes)` observed over
+    /// the run, in pool registration order (empty when the builder tracks no
+    /// pools).
+    pub peaks: Vec<(String, u64)>,
+    /// Numeric-plane STV counters, when the report describes a real
+    /// training run (folded in via [`crate::trainer::Trainer::fold_into`]).
+    pub stv: Option<StvStats>,
 }
 
 impl TrainReport {
@@ -35,12 +47,22 @@ impl TrainReport {
             mfu: 0.0,
             gpu_util: 0.0,
             cpu_util: 0.0,
+            peaks: Vec::new(),
+            stv: None,
         }
     }
 
     /// Whether the workload fit.
     pub fn feasible(&self) -> bool {
         self.plan.is_some()
+    }
+
+    /// Peak bytes of the named memory pool, if it was tracked.
+    pub fn peak_bytes(&self, pool: &str) -> Option<u64> {
+        self.peaks
+            .iter()
+            .find(|(name, _)| name == pool)
+            .map(|&(_, bytes)| bytes)
     }
 }
 
@@ -62,9 +84,116 @@ impl fmt::Display for TrainReport {
     }
 }
 
+/// Schema identifier stamped into [`RunProfile::snapshot_json`] output (as
+/// the `kind` meta entry, alongside the recorder's own schema tag).
+pub const PROFILE_KIND: &str = "run-profile/v1";
+
+/// A feasible simulation run bundled with everything observability needs:
+/// the report, the execution trace, and the telemetry recorded during it.
+///
+/// Produced by [`crate::system::ScheduleCtx::finish_profiled`] (full
+/// instrumentation: memory-pool occupancy, per-transfer bandwidth, queueing
+/// delay) or derived after the fact with [`RunProfile::from_trace`] (trace-
+/// level telemetry only).
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    /// The steady-state report.
+    pub report: TrainReport,
+    /// The execution trace of the run.
+    pub trace: Trace,
+    /// Telemetry recorded during (or derived from) the run.
+    pub metrics: MetricsRecorder,
+}
+
+impl RunProfile {
+    /// Derives trace-level telemetry from a finished run: `tasks.<kind>`
+    /// counters, `busy-us:`/`util:` gauges per resource, an `active:<name>`
+    /// 0/1 counter track for every resource that carried transfers or
+    /// collectives, and `peak-bytes:<pool>` gauges from the report's peaks.
+    ///
+    /// This is the fallback for systems whose builders do not thread a
+    /// recorder through the simulation.
+    pub fn from_trace(report: TrainReport, trace: Trace) -> Self {
+        let mut metrics = MetricsRecorder::new();
+        let names = trace.resource_names().to_vec();
+        let mut busy = vec![SimTime::ZERO; names.len()];
+        for iv in trace.intervals() {
+            metrics.add(&format!("tasks.{}", iv.kind), 1);
+            busy[iv.resource.index()] += iv.duration();
+        }
+        let makespan = trace.makespan();
+        for (name, b) in names.iter().zip(&busy) {
+            metrics.set_gauge(&format!("busy-us:{name}"), b.as_micros());
+            let util = if makespan > SimTime::ZERO {
+                *b / makespan
+            } else {
+                0.0
+            };
+            metrics.set_gauge(&format!("util:{name}"), util);
+        }
+        metrics.set_gauge("makespan-us", makespan.as_micros());
+        for iv in trace.intervals() {
+            if matches!(iv.kind, TaskKind::Transfer | TaskKind::Collective) {
+                let track = format!("active:{}", names[iv.resource.index()]);
+                metrics.sample(&track, "busy", iv.start, 1.0);
+                metrics.sample(&track, "busy", iv.end, 0.0);
+            }
+        }
+        for (pool, bytes) in &report.peaks {
+            metrics.set_gauge(&format!("peak-bytes:{pool}"), *bytes as f64);
+        }
+        RunProfile {
+            report,
+            trace,
+            metrics,
+        }
+    }
+
+    /// The Perfetto-loadable Chrome trace of this run: `"ph":"X"` slices for
+    /// every task plus `"ph":"C"` counter tracks for every telemetry track.
+    pub fn chrome_trace_json(&self) -> String {
+        let names: Vec<&str> = self
+            .trace
+            .resource_names()
+            .iter()
+            .map(String::as_str)
+            .collect();
+        to_chrome_trace_with_counters(&self.trace, &names, &self.metrics)
+    }
+
+    /// The versioned, deterministic metrics snapshot of this run: the
+    /// recorder's counters/gauges/tracks plus `report.*` summary gauges.
+    ///
+    /// Byte-identical across repeated identical runs — simulated time only,
+    /// never wall-clock.
+    pub fn snapshot_json(&self) -> String {
+        let mut metrics = self.metrics.clone();
+        metrics.set_gauge("report.iter-time-us", self.report.iter_time.as_micros());
+        metrics.set_gauge("report.tflops", self.report.tflops);
+        metrics.set_gauge("report.mfu", self.report.mfu);
+        metrics.set_gauge("report.gpu-util", self.report.gpu_util);
+        metrics.set_gauge("report.cpu-util", self.report.cpu_util);
+        for (pool, bytes) in &self.report.peaks {
+            metrics.set_gauge(&format!("peak-bytes:{pool}"), *bytes as f64);
+        }
+        if let Some(stv) = self.report.stv {
+            metrics.add("stv.steps", stv.steps);
+            metrics.add("stv.skipped", stv.skipped);
+            metrics.add("stv.clip-rollbacks", stv.clip_rollbacks);
+        }
+        metrics.snapshot_json(&[
+            ("kind", PROFILE_KIND.to_string()),
+            ("system", self.report.system.clone()),
+            ("feasible", self.report.feasible().to_string()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use superchip_sim::telemetry::validate_json;
+    use superchip_sim::{Simulator, TaskSpec};
 
     #[test]
     fn display_covers_both_outcomes() {
@@ -83,9 +212,13 @@ mod tests {
             mfu: 0.49,
             gpu_util: 1.0,
             cpu_util: 0.58,
+            peaks: vec![("hbm".to_string(), 7 << 30)],
+            stv: None,
         };
         let s = ok.to_string();
         assert!(s.contains("242.6") && s.contains("49.0%"));
+        assert_eq!(ok.peak_bytes("hbm"), Some(7 << 30));
+        assert_eq!(ok.peak_bytes("ddr"), None);
     }
 
     #[test]
@@ -94,5 +227,63 @@ mod tests {
         assert!(!r.feasible());
         assert_eq!(r.system, "ddp");
         assert_eq!(r.tflops, 0.0);
+        assert!(r.peaks.is_empty());
+    }
+
+    fn tiny_trace() -> Trace {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let link = sim.add_resource("link");
+        let a = sim
+            .add_task(TaskSpec::compute(gpu, SimTime::from_millis(2.0)).with_label("bwd"))
+            .unwrap();
+        sim.add_task(
+            TaskSpec::transfer(link, SimTime::from_millis(1.0))
+                .with_label("swap")
+                .after(a),
+        )
+        .unwrap();
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn from_trace_derives_counters_and_activity() {
+        let mut report = TrainReport::oom("demo");
+        report.peaks = vec![("hbm".to_string(), 42)];
+        let profile = RunProfile::from_trace(report, tiny_trace());
+        assert_eq!(profile.metrics.counter("tasks.compute"), 1);
+        assert_eq!(profile.metrics.counter("tasks.transfer"), 1);
+        assert_eq!(profile.metrics.gauge("busy-us:gpu"), Some(2000.0));
+        assert_eq!(profile.metrics.gauge("peak-bytes:hbm"), Some(42.0));
+        let active = profile.metrics.track("active:link").unwrap();
+        assert_eq!(active.samples, vec![(2000, 1.0), (3000, 0.0)]);
+    }
+
+    #[test]
+    fn profile_outputs_are_valid_json() {
+        let profile = RunProfile::from_trace(TrainReport::oom("demo"), tiny_trace());
+        let trace_json = profile.chrome_trace_json();
+        let snap = profile.snapshot_json();
+        validate_json(&trace_json).unwrap();
+        validate_json(&snap).unwrap();
+        assert!(trace_json.contains(r#""ph":"X""#));
+        assert!(trace_json.contains(r#""ph":"C""#));
+        assert!(snap.contains("run-profile/v1"));
+        assert!(snap.contains("report.tflops"));
+    }
+
+    #[test]
+    fn stv_counters_fold_into_snapshot() {
+        let mut report = TrainReport::oom("trainer");
+        report.stv = Some(StvStats {
+            steps: 9,
+            skipped: 2,
+            clip_rollbacks: 1,
+        });
+        let profile = RunProfile::from_trace(report, tiny_trace());
+        let snap = profile.snapshot_json();
+        assert!(snap.contains("\"stv.steps\": 9"));
+        assert!(snap.contains("\"stv.skipped\": 2"));
+        assert!(snap.contains("\"stv.clip-rollbacks\": 1"));
     }
 }

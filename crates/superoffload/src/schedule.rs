@@ -28,7 +28,7 @@ use crate::costs::{
     gpu_optimizer_time, pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_TUNED,
 };
 use crate::policy::{choose_policy, WeightPolicy};
-use crate::report::TrainReport;
+use crate::report::{RunProfile, TrainReport};
 use crate::system::{Capacity, Infeasible, IterationBuilder, ScheduleCtx};
 
 /// Fraction of GPU memory usable for model data (the rest is CUDA context,
@@ -140,6 +140,18 @@ pub fn simulate_single_chip_traced(
     workload: &Workload,
     opts: &SuperOffloadOptions,
 ) -> Result<(TrainReport, Trace), Infeasible> {
+    simulate_single_chip_profiled(chip, workload, opts).map(|p| (p.report, p.trace))
+}
+
+/// Like [`simulate_single_chip_traced`], returning the full [`RunProfile`]
+/// of the winning configuration: report, trace, and the telemetry recorded
+/// during the run (memory-pool occupancy, per-transfer bandwidth, queueing
+/// delay, scheduler counters).
+pub fn simulate_single_chip_profiled(
+    chip: &ChipSpec,
+    workload: &Workload,
+    opts: &SuperOffloadOptions,
+) -> Result<RunProfile, Infeasible> {
     match opts.retained_buckets {
         Some(_) => simulate_fixed(chip, workload, opts),
         None => {
@@ -190,7 +202,7 @@ pub fn simulate_single_chip_traced(
             candidates.sort_unstable();
             candidates.dedup();
 
-            let mut best: Option<(TrainReport, Trace)> = None;
+            let mut best: Option<RunProfile> = None;
             let mut first_err: Option<Infeasible> = None;
             for n in candidates {
                 let fixed = SuperOffloadOptions {
@@ -202,7 +214,7 @@ pub fn simulate_single_chip_traced(
                     Ok(result) => {
                         let better = match &best {
                             None => true,
-                            Some((b, _)) => result.0.tflops > b.tflops,
+                            Some(b) => result.report.tflops > b.report.tflops,
                         };
                         if better {
                             best = Some(result);
@@ -224,7 +236,7 @@ fn simulate_fixed(
     chip: &ChipSpec,
     workload: &Workload,
     opts: &SuperOffloadOptions,
-) -> Result<(TrainReport, Trace), Infeasible> {
+) -> Result<RunProfile, Infeasible> {
     let system = "superoffload";
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
@@ -275,6 +287,7 @@ fn simulate_fixed(
     // --- Task graph -------------------------------------------------------
     let mut ctx = ScheduleCtx::standard();
     let cpu_val = ctx.add_resource(SINGLE_CHIP_RESOURCES[5]);
+    let (hbm, ddr) = ctx.plan_residency(chip, gpu_resident, cpu_resident);
 
     let micro = plan.micro_steps();
 
@@ -303,6 +316,7 @@ fn simulate_fixed(
                     .with_label("weight-fetch-fwd")
                     .after_all(fwd_dep.iter().copied()),
                 )?;
+                ctx.track_transfer(fetch, &chip.c2c, stream_bytes_per_pass);
                 fwd_dep.push(fetch);
             }
             let fwd = ctx.forward(compute.fwd_per_micro + overhead, fwd_dep)?;
@@ -311,16 +325,16 @@ fn simulate_fixed(
             // in reverse parameter order).
             let mut bwd_fetch: Option<TaskId> = None;
             if stream_bytes_per_pass > 0 {
-                bwd_fetch = Some(
-                    ctx.sim.add_task(
-                        TaskSpec::transfer(
-                            ctx.h2d,
-                            chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
-                        )
-                        .with_label("weight-fetch-bwd")
-                        .after(fwd),
-                    )?,
-                );
+                let fetch = ctx.sim.add_task(
+                    TaskSpec::transfer(
+                        ctx.h2d,
+                        chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
+                    )
+                    .with_label("weight-fetch-bwd")
+                    .after(fwd),
+                )?;
+                ctx.track_transfer(fetch, &chip.c2c, stream_bytes_per_pass);
+                bwd_fetch = Some(fetch);
             }
             let last = ctx.backward_chunks(
                 &plan_buckets,
@@ -359,6 +373,11 @@ fn simulate_fixed(
                                 .with_label(format!("grad-out[{bi}]"))
                                 .after(xfer_time.1),
                         )?;
+                        let grad_bytes = match cast {
+                            CastPlacement::GpuCastMoveFp32 => 4 * elems,
+                            _ => 2 * elems,
+                        };
+                        ctx.track_transfer(xfer, &chip.c2c, grad_bytes);
                         if cast == CastPlacement::CpuCastMoveFp16Pageable {
                             xfer = ctx.sim.add_task(
                                 TaskSpec::cast(
@@ -382,6 +401,8 @@ fn simulate_fixed(
                                 .with_label(format!("grad-accum[{bi}]"))
                                 .after(xfer),
                             )?;
+                            // FP32 staging buffer lives from arrival to accum.
+                            ctx.track_alloc(ddr, 4 * elems, xfer, Some(acc));
                             iter_end_deps.push(acc);
                         } else {
                             grad_arrivals.push((bi, xfer));
@@ -392,6 +413,11 @@ fn simulate_fixed(
                     Ok(())
                 },
             )?;
+            // Activations of this micro-step occupy HBM from the end of
+            // forward until the last backward chunk releases them.
+            if plan.activation_bytes > 0 {
+                ctx.track_alloc(hbm, plan.activation_bytes, fwd, Some(last));
+            }
             last_bwd_chunk = Some(last);
         }
 
@@ -437,6 +463,8 @@ fn simulate_fixed(
                     spec = spec.after(ns);
                 }
                 let step = ctx.sim.add_task(spec)?;
+                // FP32 gradient staging held until the optimizer consumes it.
+                ctx.track_alloc(ddr, 4 * elems, arrival, Some(step));
 
                 // STV: background validation on spare cores, off the
                 // critical path (scans the bucket's gradients).
@@ -477,6 +505,11 @@ fn simulate_fixed(
                         .with_label(format!("param-in[{bi}]"))
                         .after(ret_dep),
                 )?;
+                let param_bytes = match cast {
+                    CastPlacement::GpuCastMoveFp32 => 4 * elems,
+                    _ => 2 * elems,
+                };
+                ctx.track_transfer(ret, &chip.c2c, param_bytes);
                 if cast == CastPlacement::GpuCastMoveFp32 {
                     let c = ctx.sim.add_task(
                         TaskSpec::cast(
@@ -497,13 +530,7 @@ fn simulate_fixed(
         iters.close(&mut ctx, iter_end_deps)?;
     }
 
-    ctx.finish(
-        system,
-        iters.gates(),
-        flops.effective(),
-        chip,
-        plan,
-    )
+    ctx.finish_profiled(system, iters.gates(), flops.effective(), chip, plan)
 }
 
 /// Extracts a steady-state [`TrainReport`] from a multi-iteration trace
@@ -522,6 +549,7 @@ pub fn finalize_report(
     effective_flops: f64,
     chip: &ChipSpec,
     plan: ExecutionPlan,
+    peaks: Vec<(String, u64)>,
 ) -> TrainReport {
     assert!(gates.len() >= 2, "need >= 2 iterations for steady state");
     let first = trace.end_time(gates[0]).expect("gate executed");
@@ -564,6 +592,8 @@ pub fn finalize_report(
         } else {
             0.0
         },
+        peaks,
+        stv: None,
     }
 }
 

@@ -30,9 +30,10 @@ use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use crate::bucket::BucketPlan;
-use crate::report::TrainReport;
+use crate::report::{RunProfile, TrainReport};
 use crate::schedule::{
-    finalize_report, simulate_single_chip_traced, SuperOffloadOptions, CPU_USABLE, GPU_USABLE,
+    finalize_report, simulate_single_chip_profiled, simulate_single_chip_traced,
+    SuperOffloadOptions, CPU_USABLE, GPU_USABLE,
 };
 use crate::zero_dp;
 
@@ -159,6 +160,23 @@ pub trait OffloadSystem {
             Ok((report, _trace)) => report,
             Err(_) => TrainReport::oom(self.name()),
         }
+    }
+
+    /// Simulates like [`simulate_traced`](OffloadSystem::simulate_traced)
+    /// but returns the full [`RunProfile`]: report, trace, and telemetry.
+    ///
+    /// The default derives trace-level telemetry after the fact
+    /// ([`RunProfile::from_trace`]); systems whose builders thread a
+    /// recorder through the run (e.g. SuperOffload's single-chip schedule)
+    /// override this to return the richer in-run metrics.
+    fn simulate_profiled(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<RunProfile, Infeasible> {
+        self.simulate_traced(cluster, ranks, workload)
+            .map(|(report, trace)| RunProfile::from_trace(report, trace))
     }
 }
 
@@ -326,6 +344,34 @@ pub fn split_batch(workload: &Workload, ranks: u32) -> Result<Workload, Infeasib
 /// [`superchip_sim::chrome_trace::to_chrome_trace`].
 pub const STANDARD_RESOURCES: [&str; 5] = ["gpu", "cpu", "c2c-d2h", "c2c-h2d", "fabric"];
 
+/// A memory pool registered for post-run occupancy replay.
+#[derive(Debug)]
+struct PlannedPool {
+    name: String,
+    capacity: u64,
+    /// Statically-resident bytes, allocated at time zero.
+    base: u64,
+}
+
+/// A dynamic allocation whose lifetime is bracketed by task completions.
+#[derive(Debug)]
+struct TrackedAlloc {
+    pool: usize,
+    bytes: u64,
+    /// The allocation materializes when this task completes.
+    alloc_after: TaskId,
+    /// Freed when this task completes (`None` = held until the end).
+    free_after: Option<TaskId>,
+}
+
+/// A transfer task annotated with the link and payload that shaped it.
+#[derive(Debug)]
+struct TrackedTransfer {
+    task: TaskId,
+    link: Link,
+    bytes: u64,
+}
+
 /// A simulator pre-wired with the standard Superchip resources, plus the
 /// shared task-graph motifs of the schedule builders.
 #[derive(Debug)]
@@ -342,6 +388,9 @@ pub struct ScheduleCtx {
     pub h2d: ResourceId,
     /// Inter-node fabric (collectives).
     pub net: ResourceId,
+    pools: Vec<PlannedPool>,
+    allocs: Vec<TrackedAlloc>,
+    xfers: Vec<TrackedTransfer>,
 }
 
 impl ScheduleCtx {
@@ -360,7 +409,65 @@ impl ScheduleCtx {
             d2h,
             h2d,
             net,
+            pools: Vec::new(),
+            allocs: Vec::new(),
+            xfers: Vec::new(),
         }
+    }
+
+    /// Registers a memory pool for occupancy telemetry: `base` bytes are
+    /// allocated at time zero, and [`track_alloc`](ScheduleCtx::track_alloc)
+    /// adds dynamic allocations on top. Returns a handle for `track_alloc`.
+    pub fn add_pool(&mut self, name: impl Into<String>, capacity: u64, base: u64) -> usize {
+        self.pools.push(PlannedPool {
+            name: name.into(),
+            capacity,
+            base,
+        });
+        self.pools.len() - 1
+    }
+
+    /// Registers the two standard pools of a Superchip — `hbm` (GPU) and
+    /// `ddr` (CPU) — with the builder's planned resident bytes as base
+    /// occupancy. Returns `(hbm, ddr)` handles.
+    pub fn plan_residency(
+        &mut self,
+        chip: &ChipSpec,
+        gpu_resident: u64,
+        cpu_resident: u64,
+    ) -> (usize, usize) {
+        let hbm = self.add_pool("hbm", chip.gpu.mem_bytes, gpu_resident);
+        let ddr = self.add_pool("ddr", chip.cpu.mem_bytes, cpu_resident);
+        (hbm, ddr)
+    }
+
+    /// Tracks a dynamic allocation in `pool`: `bytes` materialize when
+    /// `alloc_after` completes and are freed when `free_after` completes
+    /// (or held until the end of the run when `None`).
+    pub fn track_alloc(
+        &mut self,
+        pool: usize,
+        bytes: u64,
+        alloc_after: TaskId,
+        free_after: Option<TaskId>,
+    ) {
+        self.allocs.push(TrackedAlloc {
+            pool,
+            bytes,
+            alloc_after,
+            free_after,
+        });
+    }
+
+    /// Annotates transfer task `task` with the link it crosses and its
+    /// payload, so [`finish_profiled`](ScheduleCtx::finish_profiled) can
+    /// report per-transfer effective bandwidth.
+    pub fn track_transfer(&mut self, task: TaskId, link: &Link, bytes: u64) {
+        self.xfers.push(TrackedTransfer {
+            task,
+            link: *link,
+            bytes,
+        });
     }
 
     /// Registers an extra, system-specific resource (e.g. `nvme`,
@@ -471,14 +578,94 @@ impl ScheduleCtx {
     /// first and last iteration gates (see
     /// [`finalize_report`](crate::schedule::finalize_report)).
     pub fn finish(
-        mut self,
+        self,
         system: &str,
         gates: &[TaskId],
         effective_flops: f64,
         chip: &ChipSpec,
         plan: ExecutionPlan,
     ) -> Result<(TrainReport, Trace), Infeasible> {
-        let trace = self.sim.run()?;
+        self.finish_profiled(system, gates, effective_flops, chip, plan)
+            .map(|p| (p.report, p.trace))
+    }
+
+    /// Like [`finish`](ScheduleCtx::finish), but returns the full
+    /// [`RunProfile`] with in-run telemetry:
+    ///
+    /// - scheduler counters and queue-wait samples from the instrumented
+    ///   simulator run,
+    /// - per-transfer effective bandwidth (`bw:`/`bytes:`/`transfers:`
+    ///   tracks) for every [`track_transfer`](ScheduleCtx::track_transfer)ed
+    ///   task,
+    /// - memory occupancy timelines (`mem:`/`peak-bytes:` per pool) replayed
+    ///   from [`track_alloc`](ScheduleCtx::track_alloc) against the executed
+    ///   schedule, with the resulting high-water marks folded into
+    ///   `report.peaks`.
+    ///
+    /// Allocations that would not fit their pool during replay are dropped
+    /// and counted under `telemetry.dropped-allocs` rather than failing the
+    /// run (the capacity planner, not telemetry, owns OOM decisions).
+    pub fn finish_profiled(
+        mut self,
+        system: &str,
+        gates: &[TaskId],
+        effective_flops: f64,
+        chip: &ChipSpec,
+        plan: ExecutionPlan,
+    ) -> Result<RunProfile, Infeasible> {
+        let mut metrics = MetricsRecorder::new();
+        let trace = self.sim.run_instrumented(&mut metrics)?;
+
+        for t in &self.xfers {
+            if let Some(iv) = trace.interval(t.task) {
+                let track = trace.resource_names()[iv.resource.index()].clone();
+                t.link
+                    .record_transfer(&mut metrics, &track, iv.start, iv.end, t.bytes);
+            }
+        }
+
+        let mut peaks: Vec<(String, u64)> = Vec::new();
+        let mut dropped = 0u64;
+        let mut applied = vec![false; self.allocs.len()];
+        for (pi, planned) in self.pools.iter().enumerate() {
+            let mut pool = MemoryPool::new(&planned.name, planned.capacity);
+            if planned.base > 0 && pool.allocate_at(planned.base, SimTime::ZERO).is_err() {
+                dropped += 1;
+            }
+            // Replay events in executed order; frees sort before allocs at
+            // the same instant so back-to-back buffers don't double-count.
+            let mut events: Vec<(SimTime, u8, usize)> = Vec::new();
+            for (ai, a) in self.allocs.iter().enumerate() {
+                if a.pool != pi {
+                    continue;
+                }
+                let at = trace.end_time(a.alloc_after).unwrap_or(SimTime::ZERO);
+                events.push((at, 1, ai));
+                if let Some(f) = a.free_after {
+                    let ft = trace.end_time(f).unwrap_or(at).max(at);
+                    events.push((ft, 0, ai));
+                }
+            }
+            events.sort_by_key(|&(ts, kind, ai)| (ts.as_micros_rounded(), kind, ai));
+            for (ts, kind, ai) in events {
+                let bytes = self.allocs[ai].bytes;
+                if kind == 1 {
+                    if pool.allocate_at(bytes, ts).is_ok() {
+                        applied[ai] = true;
+                    } else {
+                        dropped += 1;
+                    }
+                } else if applied[ai] {
+                    let _ = pool.free_at(bytes, ts);
+                }
+            }
+            pool.record_into(&mut metrics);
+            peaks.push((planned.name.clone(), pool.peak()));
+        }
+        if dropped > 0 {
+            metrics.add("telemetry.dropped-allocs", dropped);
+        }
+
         let report = finalize_report(
             system,
             &trace,
@@ -488,8 +675,13 @@ impl ScheduleCtx {
             effective_flops,
             chip,
             plan,
+            peaks,
         );
-        Ok((report, trace))
+        Ok(RunProfile {
+            report,
+            trace,
+            metrics,
+        })
     }
 }
 
@@ -569,6 +761,20 @@ impl OffloadSystem for SuperOffload {
             simulate_single_chip_traced(&cluster.node.chip, workload, &self.opts)
         } else {
             zero_dp::simulate_cluster_traced(cluster, ranks, workload, &self.opts)
+        }
+    }
+
+    fn simulate_profiled(
+        &self,
+        cluster: &ClusterSpec,
+        ranks: u32,
+        workload: &Workload,
+    ) -> Result<RunProfile, Infeasible> {
+        if ranks <= 1 {
+            simulate_single_chip_profiled(&cluster.node.chip, workload, &self.opts)
+        } else {
+            zero_dp::simulate_cluster_traced(cluster, ranks, workload, &self.opts)
+                .map(|(report, trace)| RunProfile::from_trace(report, trace))
         }
     }
 }

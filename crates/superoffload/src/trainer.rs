@@ -21,8 +21,9 @@ use tensorlite::TensorError;
 
 use crate::checkpoint::Checkpoint;
 use crate::engine::{
-    EngineConfig, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine,
+    EngineConfig, EngineSpans, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine,
 };
+use crate::report::TrainReport;
 
 /// Which execution discipline drives the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,6 +193,21 @@ impl Trainer {
         }
     }
 
+    /// Wall-clock span totals of the engine's step phases (speculate,
+    /// validate, rollback, optimizer step).
+    pub fn spans(&self) -> EngineSpans {
+        match &self.engine {
+            Engine::Stv(e) => e.spans(),
+            Engine::Sync(e) => e.spans(),
+        }
+    }
+
+    /// Folds this run's numeric-plane counters into a performance-plane
+    /// report, bridging the two planes in one record ([`TrainReport::stv`]).
+    pub fn fold_into(&self, report: &mut TrainReport) {
+        report.stv = Some(self.stats());
+    }
+
     /// `(step, loss)` history, one entry per call to [`Trainer::step`].
     pub fn losses(&self) -> &[(u64, f32)] {
         &self.losses
@@ -328,5 +344,20 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_checkpoint_interval_rejected() {
         Trainer::new(model()).checkpoint_every(0);
+    }
+
+    #[test]
+    fn spans_and_fold_into_bridge_the_planes() {
+        let mut trainer = Trainer::new(model()).build();
+        let mut pile = SyntheticPile::new(43, 6);
+        trainer.run(10, || pile.next_batch(2, 12)).unwrap();
+        let spans = trainer.spans();
+        assert_eq!(spans.speculate.count, 10);
+        assert_eq!(spans.rollback.count, trainer.stats().rollbacks());
+
+        let mut report = TrainReport::oom("superoffload");
+        trainer.fold_into(&mut report);
+        assert_eq!(report.stv, Some(trainer.stats()));
+        assert!(report.stv.unwrap().steps > 0);
     }
 }

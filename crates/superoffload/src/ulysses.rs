@@ -136,6 +136,7 @@ pub fn simulate_ulysses_traced(
 
     // --- Graph ---------------------------------------------------------------
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 
     let mut iters = IterationBuilder::new();
     for _ in 0..opts.iterations {

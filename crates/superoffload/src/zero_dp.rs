@@ -127,6 +127,7 @@ pub fn simulate_cluster_traced(
 
     // --- Task graph (rank-0 perspective; ranks are symmetric) ------------
     let mut ctx = ScheduleCtx::standard();
+    ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 
     let micro = plan.micro_steps();
 
