@@ -21,6 +21,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("table2", experiments::print_table2),
     ("table3", realbench::print_table3),
     ("fig14", realbench::print_fig14),
+    ("realbench", realbench::print_realplane),
     ("fig15", experiments::print_fig15),
     ("timelines", experiments::print_timelines),
     ("numa", experiments::print_numa),

@@ -12,6 +12,8 @@ use grace_optim::adam::{AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, 
 use llm_model::transformer::{GptConfig, GptModel};
 use llm_model::SyntheticPile;
 use superoffload::engine::{EngineConfig, StepOutcome, StvEngine, SyncEngine};
+use tensorlite::pool::with_threads;
+use tensorlite::{Tensor, XorShiftRng};
 
 /// One Table 3 row: seconds per optimizer step for each implementation at a
 /// given parameter count.
@@ -251,6 +253,270 @@ pub fn print_fig14() {
         );
     }
     println!("(paper: rollbacks frequent before iteration ~1000, then 0.12% of iterations)");
+}
+
+/// Serial-vs-parallel measurement of the real numeric plane: the packed
+/// GEMM and a full transformer train step (forward + backward + GraceAdam),
+/// with a step-time breakdown. Emitted as `BENCH_realplane.json` so the
+/// bench trajectory has machine-readable data.
+#[derive(Debug, Clone)]
+pub struct RealPlaneBench {
+    /// Hardware threads on this host (`available_parallelism`).
+    pub host_threads: usize,
+    /// Worker count used for the parallel measurements.
+    pub parallel_threads: usize,
+    /// Square GEMM edge (`n × n × n`).
+    pub matmul_n: usize,
+    /// Seconds per GEMM, one worker.
+    pub matmul_serial_secs: f64,
+    /// Seconds per GEMM, `parallel_threads` workers.
+    pub matmul_parallel_secs: f64,
+    /// Tokens consumed per train step (batch × sequence length).
+    pub tokens_per_step: usize,
+    /// Seconds per train step, one worker.
+    pub step_serial_secs: f64,
+    /// Seconds per train step, `parallel_threads` workers.
+    pub step_parallel_secs: f64,
+    /// Whether the serial and parallel runs produced bit-identical
+    /// parameters (they must).
+    pub bit_identical: bool,
+    /// Forward-pass seconds within one parallel step.
+    pub forward_secs: f64,
+    /// Backward-pass seconds within one parallel step.
+    pub backward_secs: f64,
+    /// Optimizer (GraceAdam) seconds within one parallel step.
+    pub optimizer_secs: f64,
+}
+
+impl RealPlaneBench {
+    /// Serial / parallel GEMM speedup.
+    pub fn matmul_speedup(&self) -> f64 {
+        self.matmul_serial_secs / self.matmul_parallel_secs
+    }
+
+    /// Serial / parallel train-step speedup.
+    pub fn step_speedup(&self) -> f64 {
+        self.step_serial_secs / self.step_parallel_secs
+    }
+
+    /// Tokens per second at `threads` = 1.
+    pub fn tokens_per_sec_serial(&self) -> f64 {
+        self.tokens_per_step as f64 / self.step_serial_secs
+    }
+
+    /// Tokens per second at the parallel worker count.
+    pub fn tokens_per_sec_parallel(&self) -> f64 {
+        self.tokens_per_step as f64 / self.step_parallel_secs
+    }
+
+    /// Hand-rolled JSON snapshot (same no-dependency style as the
+    /// telemetry plane).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"version\": 1,\n",
+                "  \"host_threads\": {},\n",
+                "  \"parallel_threads\": {},\n",
+                "  \"matmul\": {{\n",
+                "    \"n\": {},\n",
+                "    \"serial_secs\": {:.6},\n",
+                "    \"parallel_secs\": {:.6},\n",
+                "    \"speedup\": {:.3}\n",
+                "  }},\n",
+                "  \"train_step\": {{\n",
+                "    \"tokens_per_step\": {},\n",
+                "    \"serial_secs\": {:.6},\n",
+                "    \"parallel_secs\": {:.6},\n",
+                "    \"speedup\": {:.3},\n",
+                "    \"tokens_per_sec_serial\": {:.1},\n",
+                "    \"tokens_per_sec_parallel\": {:.1},\n",
+                "    \"bit_identical\": {},\n",
+                "    \"breakdown_secs\": {{\n",
+                "      \"forward\": {:.6},\n",
+                "      \"backward\": {:.6},\n",
+                "      \"optimizer\": {:.6}\n",
+                "    }}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            self.host_threads,
+            self.parallel_threads,
+            self.matmul_n,
+            self.matmul_serial_secs,
+            self.matmul_parallel_secs,
+            self.matmul_speedup(),
+            self.tokens_per_step,
+            self.step_serial_secs,
+            self.step_parallel_secs,
+            self.step_speedup(),
+            self.tokens_per_sec_serial(),
+            self.tokens_per_sec_parallel(),
+            self.bit_identical,
+            self.forward_secs,
+            self.backward_secs,
+            self.optimizer_secs,
+        )
+    }
+}
+
+/// The model used for the real train-step measurement: large enough that
+/// every kernel crosses the parallel work threshold.
+fn realplane_model(seed: u64) -> GptModel {
+    GptModel::new(
+        GptConfig {
+            vocab: 128,
+            hidden: 64,
+            layers: 2,
+            heads: 4,
+            max_seq: 64,
+        },
+        seed,
+    )
+}
+
+/// One full training step on a flat-parameter model: forward + backward
+/// over the batch, then a GraceAdam update. Returns (forward, backward,
+/// optimizer) seconds.
+fn timed_step(
+    model: &mut GptModel,
+    state: &mut AdamState,
+    step: u64,
+    batch: &[(Vec<usize>, Vec<usize>)],
+) -> (f64, f64, f64) {
+    let cfg = AdamConfig::default();
+    model.zero_grads();
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    for (x, y) in batch {
+        let t0 = Instant::now();
+        let cache = model.forward(x, y).expect("forward");
+        fwd += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        model.backward(&cache).expect("backward");
+        bwd += t1.elapsed().as_secs_f64();
+    }
+    let t2 = Instant::now();
+    let grads = model.grads().to_vec();
+    GraceAdam::default().step(&cfg, step, model.params_mut(), &grads, state);
+    let opt = t2.elapsed().as_secs_f64();
+    (fwd, bwd, opt)
+}
+
+fn run_training(
+    threads: usize,
+    steps: u64,
+    batch: usize,
+    seq: usize,
+) -> (Vec<f32>, f64, f64, f64, f64) {
+    with_threads(threads, || {
+        let mut model = realplane_model(4242);
+        let mut state = AdamState::new(model.num_params());
+        let mut pile = SyntheticPile::new(model.config().vocab, 4242);
+        let batches: Vec<_> = (0..steps).map(|_| pile.next_batch(batch, seq)).collect();
+        let (mut fwd, mut bwd, mut opt) = (0.0, 0.0, 0.0);
+        let start = Instant::now();
+        for (i, b) in batches.iter().enumerate() {
+            let (f, bk, o) = timed_step(&mut model, &mut state, i as u64 + 1, b);
+            fwd += f;
+            bwd += bk;
+            opt += o;
+        }
+        let per_step = start.elapsed().as_secs_f64() / steps as f64;
+        let s = steps as f64;
+        (model.params().to_vec(), per_step, fwd / s, bwd / s, opt / s)
+    })
+}
+
+/// Measures the real numeric plane, serial vs parallel: a `n × n × n`
+/// packed GEMM and a full transformer train step with breakdown.
+pub fn realplane(matmul_n: usize, steps: u64) -> RealPlaneBench {
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // GEMM: median-free simple best-of-reps timing (the Criterion benches
+    // carry the statistics; this is the machine-readable summary).
+    let mut rng = XorShiftRng::new(7);
+    let a = Tensor::randn(&[matmul_n, matmul_n], 1.0, &mut rng);
+    let b = Tensor::randn(&[matmul_n, matmul_n], 1.0, &mut rng);
+    let time_matmul = |threads: usize| {
+        with_threads(threads, || {
+            let _warm = a.matmul(&b).expect("warmup");
+            let reps = 3;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let _c = a.matmul(&b).expect("matmul");
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        })
+    };
+    let matmul_serial_secs = time_matmul(1);
+    let matmul_parallel_secs = time_matmul(0);
+
+    let (batch, seq) = (4usize, 48usize);
+    let (serial_params, step_serial_secs, _, _, _) = run_training(1, steps, batch, seq);
+    let (parallel_params, step_parallel_secs, forward_secs, backward_secs, optimizer_secs) =
+        run_training(0, steps, batch, seq);
+
+    RealPlaneBench {
+        host_threads,
+        parallel_threads: host_threads,
+        matmul_n,
+        matmul_serial_secs,
+        matmul_parallel_secs,
+        tokens_per_step: batch * seq,
+        step_serial_secs,
+        step_parallel_secs,
+        bit_identical: serial_params == parallel_params,
+        forward_secs,
+        backward_secs,
+        optimizer_secs,
+    }
+}
+
+/// Runs the real-plane measurement, prints a summary, and writes
+/// `BENCH_realplane.json` in the working directory.
+pub fn print_realplane() {
+    let bench = realplane(512, 8);
+    println!("# Real numeric plane: serial vs parallel (this host)");
+    println!(
+        "host threads: {} (parallel runs use {})",
+        bench.host_threads, bench.parallel_threads
+    );
+    println!(
+        "matmul {0}x{0}x{0}: serial {1:.4}s, parallel {2:.4}s ({3:.2}x)",
+        bench.matmul_n,
+        bench.matmul_serial_secs,
+        bench.matmul_parallel_secs,
+        bench.matmul_speedup()
+    );
+    println!(
+        "train step ({} tokens): serial {:.4}s, parallel {:.4}s ({:.2}x)",
+        bench.tokens_per_step,
+        bench.step_serial_secs,
+        bench.step_parallel_secs,
+        bench.step_speedup()
+    );
+    println!(
+        "tokens/sec: serial {:.0}, parallel {:.0}",
+        bench.tokens_per_sec_serial(),
+        bench.tokens_per_sec_parallel()
+    );
+    println!(
+        "step breakdown (parallel): forward {:.4}s, backward {:.4}s, optimizer {:.4}s",
+        bench.forward_secs, bench.backward_secs, bench.optimizer_secs
+    );
+    println!(
+        "parallel output bit-identical to serial: {}",
+        bench.bit_identical
+    );
+    match std::fs::write("BENCH_realplane.json", bench.to_json()) {
+        Ok(()) => println!("wrote BENCH_realplane.json"),
+        Err(e) => eprintln!("could not write BENCH_realplane.json: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -256,11 +256,16 @@ fn fused_chunk(
 /// paper's GraceAdam (SVE vectorization → auto-vectorized fused loops;
 /// `svprfm` prefetch + TILE chunking → cache-sized tiles; OpenMP → scoped
 /// threads).
+///
+/// The default thread count comes from the shared numeric-plane pool
+/// ([`tensorlite::pool`]), so `SUPEROFFLOAD_THREADS` and
+/// [`tensorlite::ParallelConfig`] govern the optimizer and the tensor
+/// kernels together.
 #[derive(Debug, Clone, Copy)]
 pub struct GraceAdam {
     /// Elements per cache tile (default 16 KiB of f32s = 4096 elements).
     pub tile: usize,
-    /// Worker threads (default: available parallelism).
+    /// Worker threads (default: the shared pool's thread count).
     pub threads: usize,
 }
 
@@ -268,9 +273,7 @@ impl Default for GraceAdam {
     fn default() -> Self {
         GraceAdam {
             tile: 4096,
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            threads: tensorlite::pool::threads(),
         }
     }
 }
@@ -324,37 +327,39 @@ impl AdamStepper for GraceAdam {
         }
 
         // Partition into `threads` contiguous shards, each processed in
-        // cache-sized tiles. Disjoint shards keep the update embarrassingly
-        // parallel and bit-identical to the serial order.
+        // cache-sized tiles on the shared numeric-plane pool. Disjoint
+        // shards keep the update embarrassingly parallel and bit-identical
+        // to the serial order.
         let shard = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut p_rest = params;
-            let mut g_rest = grads;
-            let mut m_rest = state.m.as_mut_slice();
-            let mut v_rest = state.v.as_mut_slice();
-            for _ in 0..threads {
-                let take = shard.min(p_rest.len());
-                if take == 0 {
-                    break;
-                }
-                let (p_s, p_r) = p_rest.split_at_mut(take);
-                let (g_s, g_r) = g_rest.split_at(take);
-                let (m_s, m_r) = m_rest.split_at_mut(take);
-                let (v_s, v_r) = v_rest.split_at_mut(take);
-                p_rest = p_r;
-                g_rest = g_r;
-                m_rest = m_r;
-                v_rest = v_r;
-                let tile = self.tile;
-                scope.spawn(move || {
-                    for ((ps, gs), (ms, vs)) in p_s
-                        .chunks_mut(tile)
-                        .zip(g_s.chunks(tile))
-                        .zip(m_s.chunks_mut(tile).zip(v_s.chunks_mut(tile)))
-                    {
-                        fused_chunk(cfg, ps, gs, ms, vs, inv_bc1, inv_bc2_sqrt);
-                    }
-                });
+        type Shard<'a> = (&'a mut [f32], &'a [f32], &'a mut [f32], &'a mut [f32]);
+        let mut parts: Vec<Shard<'_>> = Vec::with_capacity(threads);
+        let mut p_rest = params;
+        let mut g_rest = grads;
+        let mut m_rest = state.m.as_mut_slice();
+        let mut v_rest = state.v.as_mut_slice();
+        for _ in 0..threads {
+            let take = shard.min(p_rest.len());
+            if take == 0 {
+                break;
+            }
+            let (p_s, p_r) = p_rest.split_at_mut(take);
+            let (g_s, g_r) = g_rest.split_at(take);
+            let (m_s, m_r) = m_rest.split_at_mut(take);
+            let (v_s, v_r) = v_rest.split_at_mut(take);
+            p_rest = p_r;
+            g_rest = g_r;
+            m_rest = m_r;
+            v_rest = v_r;
+            parts.push((p_s, g_s, m_s, v_s));
+        }
+        let tile = self.tile;
+        tensorlite::Pool::new(threads).run_parts(parts, |_, (p_s, g_s, m_s, v_s)| {
+            for ((ps, gs), (ms, vs)) in p_s
+                .chunks_mut(tile)
+                .zip(g_s.chunks(tile))
+                .zip(m_s.chunks_mut(tile).zip(v_s.chunks_mut(tile)))
+            {
+                fused_chunk(cfg, ps, gs, ms, vs, inv_bc1, inv_bc2_sqrt);
             }
         });
     }
@@ -521,6 +526,14 @@ mod tests {
             ..AdamConfig::default()
         };
         assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+    }
+
+    #[test]
+    fn default_thread_count_follows_shared_pool() {
+        let g = tensorlite::pool::with_threads(3, GraceAdam::default);
+        assert_eq!(g.threads, 3);
+        let serial = tensorlite::pool::with_threads(1, GraceAdam::default);
+        assert_eq!(serial.threads, 1);
     }
 
     #[test]

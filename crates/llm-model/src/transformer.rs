@@ -17,7 +17,7 @@ use tensorlite::ops::{
     cross_entropy, gelu, gelu_backward, layer_norm, layer_norm_backward, linear, linear_backward,
     softmax_rows, softmax_rows_backward,
 };
-use tensorlite::{Tensor, TensorError, XorShiftRng};
+use tensorlite::{Pool, Tensor, TensorError, XorShiftRng};
 
 /// Configuration of the miniature GPT.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,9 +327,8 @@ impl GptModel {
             self.slice_of("lnf.beta"),
             1e-5,
         )?;
-        // Tied LM head: logits = lnf_out @ wte^T.
-        let wte_t = self.tensor_of("wte").transpose()?;
-        let logits = lnf_out.matmul(&wte_t)?;
+        // Tied LM head: logits = lnf_out @ wte^T (fused, no transpose).
+        let logits = lnf_out.matmul_bt(&self.tensor_of("wte"))?;
         let (loss, dlogits) = cross_entropy(&logits, targets)?;
 
         Ok(ForwardCache {
@@ -364,15 +363,23 @@ impl GptModel {
             self.slice_of(&p("attn.bqkv")),
         )?;
 
-        // Per-head causal attention.
-        let mut head_probs = Vec::with_capacity(heads);
-        let mut concat = vec![0.0f32; t * h];
-        for head in 0..heads {
+        // Per-head causal attention. Heads are independent, so they run in
+        // parallel on the worker pool; the merge below writes each head's
+        // disjoint column stripe in head order, keeping the result
+        // bit-identical to the serial loop.
+        let pool = Pool::current().limit_for(heads * t * t * 2 * d);
+        let head_results: Vec<Result<(Tensor, Tensor), TensorError>> = pool.run(heads, |head| {
             let (q, k, v) = split_qkv(&qkv, head, d, h);
-            let mut scores = q.matmul(&k.transpose()?)?.scale(scale);
+            let mut scores = q.matmul_bt(&k)?.scale(scale);
             apply_causal_mask(&mut scores);
             let probs = softmax_rows(&scores)?;
             let out = probs.matmul(&v)?; // [T, d]
+            Ok((probs, out))
+        });
+        let mut head_probs = Vec::with_capacity(heads);
+        let mut concat = vec![0.0f32; t * h];
+        for (head, result) in head_results.into_iter().enumerate() {
+            let (probs, out) = result?;
             for i in 0..t {
                 for j in 0..d {
                     concat[i * h + head * d + j] = out.data()[i * d + j];
@@ -441,7 +448,7 @@ impl GptModel {
         // d(lnf_out) = dlogits @ wte ; d(wte) += dlogits^T @ lnf_out
         let wte = self.tensor_of("wte");
         let d_lnf_out = cache.dlogits.matmul(&wte)?;
-        let d_wte_head = cache.dlogits.transpose()?.matmul(&cache.lnf_out)?;
+        let d_wte_head = cache.dlogits.matmul_at(&cache.lnf_out)?;
         self.add_grad_tensor("wte", &d_wte_head);
 
         let gamma_f = self.slice_of("lnf.gamma").to_vec();
@@ -522,28 +529,36 @@ impl GptModel {
         self.add_grad_tensor(&p("attn.wo"), &d_wo);
         self.add_grad_slice(&p("attn.bo"), &d_bo);
 
-        // Attention backward per head.
+        // Attention backward per head — heads are independent, so they run
+        // in parallel on the worker pool; gradients are merged serially in
+        // head order into disjoint column stripes of d_qkv.
         let mut d_qkv = Tensor::zeros(&[t, 3 * h]);
-        for head in 0..heads {
-            let (q, k, v) = split_qkv(&cache.qkv, head, d, h);
-            let probs = &cache.head_probs[head];
-            // d_out_head from d_attn_concat columns.
-            let mut d_out = vec![0.0f32; t * d];
-            for i in 0..t {
-                for j in 0..d {
-                    d_out[i * d + j] = d_attn_concat.data()[i * h + head * d + j];
+        let pool = Pool::current().limit_for(heads * t * t * 6 * d);
+        let head_grads: Vec<Result<(Tensor, Tensor, Tensor), TensorError>> =
+            pool.run(heads, |head| {
+                let (q, k, v) = split_qkv(&cache.qkv, head, d, h);
+                let probs = &cache.head_probs[head];
+                // d_out_head from d_attn_concat columns.
+                let mut d_out = vec![0.0f32; t * d];
+                for i in 0..t {
+                    for j in 0..d {
+                        d_out[i * d + j] = d_attn_concat.data()[i * h + head * d + j];
+                    }
                 }
-            }
-            let d_out = Tensor::from_vec(d_out, &[t, d])?;
-            // out = probs @ v
-            let d_probs = d_out.matmul(&v.transpose()?)?;
-            let d_v = probs.transpose()?.matmul(&d_out)?;
-            // probs = softmax(scores)
-            let d_scores = softmax_rows_backward(probs, &d_probs)?.scale(scale);
-            // scores(pre-scale) = q @ k^T (mask entries have zero gradient
-            // because their probs are exactly zero).
-            let d_q = d_scores.matmul(&k)?;
-            let d_k = d_scores.transpose()?.matmul(&q)?;
+                let d_out = Tensor::from_vec(d_out, &[t, d])?;
+                // out = probs @ v
+                let d_probs = d_out.matmul_bt(&v)?;
+                let d_v = probs.matmul_at(&d_out)?;
+                // probs = softmax(scores)
+                let d_scores = softmax_rows_backward(probs, &d_probs)?.scale(scale);
+                // scores(pre-scale) = q @ k^T (mask entries have zero
+                // gradient because their probs are exactly zero).
+                let d_q = d_scores.matmul(&k)?;
+                let d_k = d_scores.matmul_at(&q)?;
+                Ok((d_q, d_k, d_v))
+            });
+        for (head, grads) in head_grads.into_iter().enumerate() {
+            let (d_q, d_k, d_v) = grads?;
             merge_qkv_grad(&mut d_qkv, &d_q, &d_k, &d_v, head, d, h);
         }
 
@@ -590,8 +605,7 @@ impl GptModel {
         // Reuse forward with dummy targets; loss/dlogits are ignored.
         let targets = vec![0usize; tokens.len()];
         let cache = self.forward(tokens, &targets)?;
-        let wte_t = self.tensor_of("wte").transpose()?;
-        cache.lnf_out.matmul(&wte_t)
+        cache.lnf_out.matmul_bt(&self.tensor_of("wte"))
     }
 
     /// Mean cross-entropy loss over a batch of sequences, without touching
@@ -919,6 +933,30 @@ mod tests {
             correct >= out.len() - 3,
             "generation did not learn the rule: {out:?}"
         );
+    }
+
+    #[test]
+    fn forward_backward_bit_identical_across_thread_counts() {
+        // The full training step (embedding → attention → MLP → LM head →
+        // backward) must produce bit-identical loss and gradients at every
+        // worker count, because parallelism only partitions disjoint
+        // output rows and heads.
+        let tokens: Vec<usize> = (0..32).map(|i| (i * 5 + 3) % 64).collect();
+        let targets: Vec<usize> = (0..32).map(|i| (i * 5 + 8) % 64).collect();
+        let run = |threads: usize| {
+            tensorlite::pool::with_threads(threads, || {
+                let mut m = tiny_model(33);
+                m.zero_grads();
+                let loss = m.forward_backward(&tokens, &targets).unwrap();
+                (loss, m.grads().to_vec())
+            })
+        };
+        let (ref_loss, ref_grads) = run(1);
+        for threads in [2usize, 7, 0] {
+            let (loss, grads) = run(threads);
+            assert_eq!(loss.to_bits(), ref_loss.to_bits(), "threads={threads}");
+            assert_eq!(grads, ref_grads, "threads={threads}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! events, and supports periodic bit-exact checkpointing.
 
 use llm_model::transformer::GptModel;
-use tensorlite::TensorError;
+use tensorlite::{ParallelConfig, TensorError};
 
 use crate::checkpoint::Checkpoint;
 use crate::engine::{
@@ -43,6 +43,7 @@ pub struct TrainerBuilder {
     cfg: EngineConfig,
     discipline: Discipline,
     checkpoint_every: Option<u64>,
+    parallel: Option<ParallelConfig>,
 }
 
 impl TrainerBuilder {
@@ -90,8 +91,26 @@ impl TrainerBuilder {
         self
     }
 
+    /// Sets the numeric-plane parallelism (tensor kernels, attention heads,
+    /// and the GraceAdam optimizer all draw from the same pool). Installed
+    /// process-wide by [`TrainerBuilder::build`]; results are bit-identical
+    /// at every thread count.
+    pub fn parallel(&mut self, parallel: ParallelConfig) -> &mut Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Shorthand for [`TrainerBuilder::parallel`] with an explicit worker
+    /// thread count (`0` = auto-detect).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.parallel(ParallelConfig::with_threads(threads))
+    }
+
     /// Builds the trainer.
     pub fn build(&self) -> Trainer {
+        if let Some(parallel) = &self.parallel {
+            parallel.install();
+        }
         let engine = match self.discipline {
             Discipline::Stv => Engine::Stv(StvEngine::new(self.model.clone(), self.cfg)),
             Discipline::Sync => Engine::Sync(SyncEngine::new(self.model.clone(), self.cfg)),
@@ -136,6 +155,7 @@ impl Trainer {
             cfg: EngineConfig::default(),
             discipline: Discipline::default(),
             checkpoint_every: None,
+            parallel: None,
         }
     }
 
@@ -344,6 +364,33 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_checkpoint_interval_rejected() {
         Trainer::new(model()).checkpoint_every(0);
+    }
+
+    #[test]
+    fn parallel_and_serial_training_bit_identical() {
+        // The whole stack — kernels, attention heads, GraceAdam — must
+        // produce the same trajectory at every worker count.
+        let run = |threads: usize| {
+            tensorlite::pool::with_threads(threads, || {
+                let mut trainer = Trainer::new(model()).build();
+                let mut pile = SyntheticPile::new(43, 9);
+                trainer.run(8, || pile.next_batch(2, 12)).unwrap();
+                trainer.model().params().to_vec()
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(7), serial);
+    }
+
+    #[test]
+    fn builder_accepts_parallel_config() {
+        let mut b = Trainer::new(model());
+        b.parallel(ParallelConfig::serial()).threads(0);
+        let mut trainer = b.build();
+        let mut pile = SyntheticPile::new(43, 10);
+        trainer.run(2, || pile.next_batch(2, 12)).unwrap();
+        assert_eq!(trainer.losses().len(), 2);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   kernels a GPT-style model requires (matmul, softmax, layernorm, GELU).
 //! - [`cast`]: bulk f32↔f16 conversion with non-finite detection, mirroring
 //!   the cast operators that §4.5 of the paper places on the GPU or CPU.
+//! - [`Pool`]/[`ParallelConfig`]: a scoped-thread worker pool that
+//!   parallelizes the matrix and row kernels over disjoint output rows, so
+//!   results stay bit-identical to serial execution at any thread count
+//!   (configure via `SUPEROFFLOAD_THREADS` or [`pool::set_threads`]).
 //!
 //! # Example
 //!
@@ -34,11 +38,13 @@ pub mod cast;
 pub mod error;
 pub mod f16;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 
 pub use cast::{f16_to_f32_slice, f32_to_f16_slice, has_nonfinite};
 pub use error::TensorError;
 pub use f16::{Bf16, F16};
+pub use pool::{ParallelConfig, Pool};
 pub use rng::XorShiftRng;
 pub use tensor::Tensor;

@@ -5,9 +5,14 @@
 //! These kernels are composed by `llm-model` into a real GPT-style model.
 
 use crate::error::TensorError;
+use crate::pool::Pool;
 use crate::tensor::Tensor;
 
 /// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+///
+/// Rows are independent, so the work is partitioned over disjoint blocks
+/// of output rows on the shared worker pool; results are bit-identical to
+/// serial execution at any thread count.
 ///
 /// # Errors
 /// Returns [`TensorError::BadRank`] for non-matrices.
@@ -15,20 +20,24 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
     ensure_rank2(x, "softmax_rows")?;
     let (m, n) = (x.shape()[0], x.shape()[1]);
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let row = &x.data()[i * n..(i + 1) * n];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (o, &v) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
+    let pool = Pool::current().limit_for(m * n * 8);
+    pool.par_row_chunks(&mut out, n, |first_row, block| {
+        for (r, out_row) in block.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let row = &x.data()[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &v) in out_row.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in out_row.iter_mut() {
+                *o *= inv;
+            }
         }
-        let inv = 1.0 / sum;
-        for o in &mut out[i * n..(i + 1) * n] {
-            *o *= inv;
-        }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -42,14 +51,18 @@ pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor, TensorEr
     ensure_same_shape(y, dy, "softmax_rows_backward")?;
     let (m, n) = (y.shape()[0], y.shape()[1]);
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let yr = &y.data()[i * n..(i + 1) * n];
-        let dyr = &dy.data()[i * n..(i + 1) * n];
-        let dot: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
-        for j in 0..n {
-            out[i * n + j] = yr[j] * (dyr[j] - dot);
+    let pool = Pool::current().limit_for(m * n * 4);
+    pool.par_row_chunks(&mut out, n, |first_row, block| {
+        for (r, out_row) in block.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let yr = &y.data()[i * n..(i + 1) * n];
+            let dyr = &dy.data()[i * n..(i + 1) * n];
+            let dot: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = yr[j] * (dyr[j] - dot);
+            }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -73,18 +86,57 @@ pub fn layer_norm(
     let mut out = vec![0.0f32; m * n];
     let mut means = vec![0.0f32; m];
     let mut inv_stds = vec![0.0f32; m];
-    for i in 0..m {
-        let row = &x.data()[i * n..(i + 1) * n];
-        let mean = row.iter().sum::<f32>() / n as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let inv_std = 1.0 / (var + eps).sqrt();
-        means[i] = mean;
-        inv_stds[i] = inv_std;
-        for j in 0..n {
-            out[i * n + j] = (row[j] - mean) * inv_std * gamma[j] + beta[j];
+    // Partition the rows (and the per-row statistic vectors alongside them)
+    // into disjoint blocks, one per worker: bit-identical at any thread
+    // count because rows are independent.
+    let pool = Pool::current().limit_for(m * n * 6);
+    let parts = split_row_parts(&mut out, &mut means, &mut inv_stds, n, pool.threads());
+    pool.run_parts(parts, |_, (first_row, block, mean_s, inv_s)| {
+        for (r, out_row) in block.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let row = &x.data()[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            mean_s[r] = mean;
+            inv_s[r] = inv_std;
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = (row[j] - mean) * inv_std * gamma[j] + beta[j];
+            }
         }
-    }
+    });
     Ok((Tensor::from_vec(out, &[m, n])?, means, inv_stds))
+}
+
+/// Splits a `[rows, n]` buffer plus two per-row statistic vectors into
+/// matching contiguous row blocks, one per worker thread.
+type RowPart<'a> = (usize, &'a mut [f32], &'a mut [f32], &'a mut [f32]);
+
+fn split_row_parts<'a>(
+    out: &'a mut [f32],
+    means: &'a mut [f32],
+    inv_stds: &'a mut [f32],
+    n: usize,
+    threads: usize,
+) -> Vec<RowPart<'a>> {
+    let rows = means.len();
+    let t = threads.min(rows).max(1);
+    let rows_per = rows.div_ceil(t);
+    let mut parts: Vec<RowPart<'a>> = Vec::with_capacity(t);
+    let (mut o_rest, mut m_rest, mut s_rest) = (out, means, inv_stds);
+    let mut start = 0;
+    while !m_rest.is_empty() {
+        let take = rows_per.min(rows - start);
+        let (o_head, o_tail) = o_rest.split_at_mut(take * n);
+        let (m_head, m_tail) = m_rest.split_at_mut(take);
+        let (s_head, s_tail) = s_rest.split_at_mut(take);
+        parts.push((start, o_head, m_head, s_head));
+        o_rest = o_tail;
+        m_rest = m_tail;
+        s_rest = s_tail;
+        start += take;
+    }
+    parts
 }
 
 /// Backward of [`layer_norm`]: returns `(dx, dgamma, dbeta)`.
@@ -106,27 +158,44 @@ pub fn layer_norm_backward(
     let mut dx = vec![0.0f32; m * n];
     let mut dgamma = vec![0.0f32; n];
     let mut dbeta = vec![0.0f32; n];
+    // dx rows are independent — parallel over disjoint row blocks.
+    let pool = Pool::current().limit_for(m * n * 10);
+    pool.par_row_chunks(&mut dx, n, |first_row, block| {
+        for (r, dx_row) in block.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let xr = &x.data()[i * n..(i + 1) * n];
+            let dyr = &dy.data()[i * n..(i + 1) * n];
+            let (mean, inv_std) = (means[i], inv_stds[i]);
+            // xhat = (x - mean) * inv_std ; dy_hat = dy * gamma
+            let mut sum_dyhat = 0.0f32;
+            let mut sum_dyhat_xhat = 0.0f32;
+            for j in 0..n {
+                let xhat = (xr[j] - mean) * inv_std;
+                let dyhat = dyr[j] * gamma[j];
+                sum_dyhat += dyhat;
+                sum_dyhat_xhat += dyhat * xhat;
+            }
+            let inv_n = 1.0 / n as f32;
+            for (j, o) in dx_row.iter_mut().enumerate() {
+                let xhat = (xr[j] - mean) * inv_std;
+                let dyhat = dyr[j] * gamma[j];
+                *o = inv_std * (dyhat - inv_n * sum_dyhat - xhat * inv_n * sum_dyhat_xhat);
+            }
+        }
+    });
+    // dgamma/dbeta reduce *across* rows: keep that accumulation serial and
+    // row-ascending so the result does not depend on how many workers the
+    // dx pass used (a per-thread partial reduction would reassociate the
+    // float sums).
     #[allow(clippy::needless_range_loop)]
     for i in 0..m {
         let xr = &x.data()[i * n..(i + 1) * n];
         let dyr = &dy.data()[i * n..(i + 1) * n];
         let (mean, inv_std) = (means[i], inv_stds[i]);
-        // xhat = (x - mean) * inv_std ; dy_hat = dy * gamma
-        let mut sum_dyhat = 0.0f32;
-        let mut sum_dyhat_xhat = 0.0f32;
         for j in 0..n {
             let xhat = (xr[j] - mean) * inv_std;
-            let dyhat = dyr[j] * gamma[j];
-            sum_dyhat += dyhat;
-            sum_dyhat_xhat += dyhat * xhat;
             dgamma[j] += dyr[j] * xhat;
             dbeta[j] += dyr[j];
-        }
-        let inv_n = 1.0 / n as f32;
-        for j in 0..n {
-            let xhat = (xr[j] - mean) * inv_std;
-            let dyhat = dyr[j] * gamma[j];
-            dx[i * n + j] = inv_std * (dyhat - inv_n * sum_dyhat - xhat * inv_n * sum_dyhat_xhat);
         }
     }
     Ok((Tensor::from_vec(dx, &[m, n])?, dgamma, dbeta))
@@ -220,8 +289,8 @@ pub fn linear_backward(
     w: &Tensor,
     dy: &Tensor,
 ) -> Result<(Tensor, Tensor, Vec<f32>), TensorError> {
-    let dx = dy.matmul(&w.transpose()?)?;
-    let dw = x.transpose()?.matmul(dy)?;
+    let dx = dy.matmul_bt(w)?;
+    let dw = x.matmul_at(dy)?;
     let n = dy.shape()[1];
     let mut db = vec![0.0f32; n];
     for row in dy.data().chunks(n) {

@@ -1,0 +1,348 @@
+//! Scoped-thread worker pool shared by every parallel kernel in the
+//! numeric plane.
+//!
+//! The pool uses the same `std::thread::scope` idiom as `GraceAdam` in
+//! `grace-optim`: a parallel region spawns scoped worker threads over
+//! *disjoint* partitions of the output and joins them before returning, so
+//! no state outlives the call and no unsafe code is needed. Parallelism is
+//! only ever applied across disjoint output rows / heads / shards, which
+//! keeps per-element accumulation order unchanged — results are
+//! bit-identical to the serial kernels at every thread count.
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by tests
+//!    and by pool workers themselves, which run nested kernels serially),
+//! 2. the process-wide count set by [`set_threads`] /
+//!    [`ParallelConfig::install`],
+//! 3. the `SUPEROFFLOAD_THREADS` environment variable (read once),
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel meaning "not configured" in the global thread-count cell.
+const UNSET: usize = usize::MAX;
+
+/// Below this many element-operations a kernel runs serially: spawning
+/// threads costs tens of microseconds, which dwarfs the work itself on
+/// small tensors. The threshold depends only on the operand shapes, so
+/// the serial/parallel decision — and therefore the result — is
+/// deterministic.
+pub const PAR_WORK_THRESHOLD: usize = 32_768;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SUPEROFFLOAD_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn resolve(requested: usize) -> usize {
+    if requested == 0 {
+        hardware_threads()
+    } else {
+        requested
+    }
+}
+
+/// Sets the process-wide worker thread count (`0` = auto-detect).
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker thread count for the calling thread.
+pub fn threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return resolve(n);
+    }
+    let g = GLOBAL_THREADS.load(Ordering::Relaxed);
+    resolve(if g == UNSET { env_threads() } else { g })
+}
+
+/// Runs `f` with the calling thread's worker count overridden to `n`
+/// (`0` = auto-detect). The override is thread-local and restored on exit,
+/// so concurrent tests can pin different counts without racing.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Parallel-execution configuration threaded through `Trainer` and the
+/// benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for the numeric plane (`0` = auto-detect).
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
+impl ParallelConfig {
+    /// Auto-detected parallelism (`available_parallelism`).
+    pub fn auto() -> Self {
+        ParallelConfig { threads: 0 }
+    }
+
+    /// Fully serial execution.
+    pub fn serial() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// Explicit thread count (`0` = auto-detect).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads }
+    }
+
+    /// Reads `SUPEROFFLOAD_THREADS` (unset or `0` = auto-detect).
+    pub fn from_env() -> Self {
+        ParallelConfig {
+            threads: env_threads(),
+        }
+    }
+
+    /// Installs this configuration process-wide (see [`set_threads`]).
+    pub fn install(&self) {
+        set_threads(self.threads);
+    }
+
+    /// The thread count this configuration resolves to on this host.
+    pub fn effective_threads(&self) -> usize {
+        resolve(self.threads)
+    }
+}
+
+/// A handle on the scoped worker pool with a resolved thread count.
+///
+/// `Pool` is a lightweight value: obtaining one costs an atomic load, and
+/// parallel regions spawn scoped threads on demand (the `std::thread::scope`
+/// idiom), so there is no persistent state to poison or shut down.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// The pool as configured for the calling thread.
+    pub fn current() -> Pool {
+        Pool { threads: threads() }
+    }
+
+    /// A pool with an explicit thread count.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads > 0, "pool thread count must be non-zero");
+        Pool { threads }
+    }
+
+    /// The thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A copy of this pool limited to one thread when `work` (an estimate
+    /// of element-operations) is below [`PAR_WORK_THRESHOLD`]. The decision
+    /// depends only on `work`, keeping execution deterministic.
+    pub fn limit_for(&self, work: usize) -> Pool {
+        if work < PAR_WORK_THRESHOLD {
+            Pool { threads: 1 }
+        } else {
+            *self
+        }
+    }
+
+    /// Runs `f(index, part)` for every element of `parts`, each on its own
+    /// scoped worker thread (serially when the pool has one thread or there
+    /// is one part). Workers run nested kernels serially — parallelism is
+    /// one level deep by construction.
+    ///
+    /// Callers size `parts` to roughly the thread count; every part is a
+    /// disjoint unit of work, so execution order cannot affect results.
+    pub fn run_parts<S: Send>(&self, parts: Vec<S>, f: impl Fn(usize, S) + Sync) {
+        if self.threads <= 1 || parts.len() <= 1 {
+            for (i, p) in parts.into_iter().enumerate() {
+                f(i, p);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (i, p) in parts.into_iter().enumerate() {
+                let f = &f;
+                scope.spawn(move || with_threads(1, || f(i, p)));
+            }
+        });
+    }
+
+    /// Runs `f(i)` for `i in 0..n`, returning the results in index order.
+    /// Indices are partitioned into contiguous blocks, one per worker.
+    pub fn run<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let t = self.threads.min(n).max(1);
+        if t <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Some(f(i));
+            }
+        } else {
+            let per = n.div_ceil(t);
+            let mut parts: Vec<(usize, &mut [Option<R>])> = Vec::with_capacity(t);
+            let mut rest = out.as_mut_slice();
+            let mut start = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                parts.push((start, head));
+                start += take;
+                rest = tail;
+            }
+            self.run_parts(parts, |_, (first, slots)| {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(first + j));
+                }
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("worker filled its slot"))
+            .collect()
+    }
+
+    /// Partitions `data` (a row-major `[rows, row_len]` buffer) into
+    /// contiguous blocks of whole rows, one per worker, and calls
+    /// `f(first_row, block)` for each. Blocks are disjoint, so per-element
+    /// results are independent of the partition.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `data.len()` is not a multiple of
+    /// `row_len`.
+    pub fn par_row_chunks(
+        &self,
+        data: &mut [f32],
+        row_len: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        if data.is_empty() || row_len == 0 {
+            return;
+        }
+        debug_assert_eq!(data.len() % row_len, 0, "buffer is not whole rows");
+        let rows = data.len() / row_len;
+        let t = self.threads.min(rows).max(1);
+        if t <= 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per = rows.div_ceil(t);
+        let mut parts: Vec<(usize, &mut [f32])> = Vec::with_capacity(t);
+        let mut rest = data;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = rows_per.min(rows - start);
+            let (head, tail) = rest.split_at_mut(take * row_len);
+            parts.push((start, head));
+            start += take;
+            rest = tail;
+        }
+        self.run_parts(parts, |_, (first, block)| f(first, block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(13, |i| i * i);
+        assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        let serial = Pool::new(1).run(13, |i| i * i);
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn run_handles_empty_and_single() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_row_chunks_covers_every_row_once() {
+        for threads in [1usize, 2, 3, 7] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0.0f32; 5 * 3];
+            pool.par_row_chunks(&mut data, 3, |first, block| {
+                for (j, row) in block.chunks_mut(3).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first + j) as f32 + 1.0;
+                    }
+                }
+            });
+            let expect: Vec<f32> = (0..5).flat_map(|r| [r as f32 + 1.0; 3]).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = threads();
+        let inner = with_threads(7, threads);
+        assert_eq!(inner, 7);
+        assert_eq!(threads(), before);
+        // Zero means auto-detect.
+        assert!(with_threads(0, threads) >= 1);
+    }
+
+    #[test]
+    fn workers_run_nested_kernels_serially() {
+        let pool = Pool::new(4);
+        let nested = pool.run(4, |_| threads());
+        assert!(nested.iter().all(|&t| t == 1), "nested counts {nested:?}");
+    }
+
+    #[test]
+    fn limit_for_small_work_is_serial() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.limit_for(10).threads(), 1);
+        assert_eq!(pool.limit_for(PAR_WORK_THRESHOLD).threads(), 8);
+    }
+
+    #[test]
+    fn parallel_config_resolves() {
+        assert_eq!(ParallelConfig::serial().effective_threads(), 1);
+        assert!(ParallelConfig::auto().effective_threads() >= 1);
+        assert_eq!(ParallelConfig::with_threads(5).effective_threads(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_thread_pool_rejected() {
+        Pool::new(0);
+    }
+}

@@ -1,7 +1,21 @@
 //! Dense row-major `f32` tensors.
 
 use crate::error::TensorError;
+use crate::pool::Pool;
 use crate::rng::XorShiftRng;
+
+/// Column width of a packed B panel. 64 f32s = 256 B per panel row: a
+/// handful of cache lines that stay resident while the k loop streams over
+/// them, and a multiple of every SIMD width the compiler may pick.
+const GEMM_NC: usize = 64;
+/// Rows of B (the k extent) per packed tile; `GEMM_KC × GEMM_NC` f32s =
+/// 64 KiB, sized to sit in L1/L2 while every output row of a worker's
+/// block is swept over it.
+const GEMM_KC: usize = 256;
+/// Square tile edge for the blocked transpose (32×32×4 B = 4 KiB per
+/// operand tile, so one source and one destination tile fit in L1
+/// together).
+const TRANSPOSE_TILE: usize = 32;
 
 /// A dense, row-major `f32` tensor of arbitrary rank.
 ///
@@ -250,7 +264,14 @@ impl Tensor {
         }
     }
 
-    /// Matrix product of two rank-2 tensors (blocked inner loop).
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// The kernel packs `other` into cache-sized column panels, tiles the
+    /// inner dimension, and parallelizes over disjoint blocks of output
+    /// rows on the shared worker pool ([`Pool`]). Every output element
+    /// accumulates its `k` contributions in ascending order regardless of
+    /// blocking or thread count, so results are bit-identical to the
+    /// straightforward serial i-k-j loop.
     ///
     /// # Errors
     /// Returns [`TensorError::BadRank`] for non-matrices or
@@ -268,24 +289,107 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams `other` rows, auto-vectorizes the j loop.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let packed = pack_b_panels(&other.data, k, n);
+        let pool = Pool::current().limit_for(m * n * k);
+        pool.par_row_chunks(&mut out, n, |first_row, block| {
+            let a_rows = &self.data[first_row * k..first_row * k + (block.len() / n) * k];
+            gemm_packed_block(a_rows, k, &packed, n, block);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Fused `selfᵀ @ other` for rank-2 tensors (`self` is `[k, m]`,
+    /// `other` is `[k, n]`, the result is `[m, n]`).
+    ///
+    /// Equivalent to `self.transpose()?.matmul(other)` — bit-identical,
+    /// since both accumulate over `k` in ascending order — but without
+    /// materializing the transposed operand: each worker packs only the
+    /// column stripe of `self` its output rows need.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] for non-matrices or
+    /// [`TensorError::IncompatibleShapes`] if the leading dimensions
+    /// differ.
+    pub fn matmul_at(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_rank2("matmul_at")?;
+        other.check_rank2("matmul_at")?;
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "matmul_at",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let packed = pack_b_panels(&other.data, k, n);
+        let pool = Pool::current().limit_for(m * n * k);
+        pool.par_row_chunks(&mut out, n, |first_row, block| {
+            // Pack the worker's stripe of selfᵀ: rows `first_row..` of the
+            // transpose, i.e. columns of `self`. This is the only transpose
+            // work done, it is local to the worker, and it reads each
+            // source cache line once per k-row.
+            let rows = block.len() / n;
+            let mut at = vec![0.0f32; rows * k];
+            for kk in 0..k {
+                let src = &self.data[kk * m + first_row..kk * m + first_row + rows];
+                for (r, &v) in src.iter().enumerate() {
+                    at[r * k + kk] = v;
+                }
+            }
+            gemm_packed_block(&at, k, &packed, n, block);
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Fused `self @ otherᵀ` for rank-2 tensors (`self` is `[m, k]`,
+    /// `other` is `[n, k]`, the result is `[m, n]`).
+    ///
+    /// Equivalent to `self.matmul(&other.transpose()?)` — bit-identical,
+    /// since both accumulate over `k` in ascending order — but without
+    /// materializing the transposed operand: every output element is a dot
+    /// product of two contiguous rows.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadRank`] for non-matrices or
+    /// [`TensorError::IncompatibleShapes`] if the trailing dimensions
+    /// differ.
+    pub fn matmul_bt(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_rank2("matmul_bt")?;
+        other.check_rank2("matmul_bt")?;
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+                op: "matmul_bt",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let pool = Pool::current().limit_for(m * n * k);
+        pool.par_row_chunks(&mut out, n, |first_row, block| {
+            for (r, out_row) in block.chunks_mut(n).enumerate() {
+                let a_row = &self.data[(first_row + r) * k..(first_row + r + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    // Single sequential accumulator: the same ascending-k
+                    // order as the composed transpose-then-matmul path.
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor (blocked into square cache tiles so
+    /// both the source and destination are walked a cache-resident tile at
+    /// a time, instead of striding the full destination per source row).
     ///
     /// # Errors
     /// Returns [`TensorError::BadRank`] for non-matrices.
@@ -293,10 +397,20 @@ impl Tensor {
         self.check_rank2("transpose")?;
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        let mut ii = 0;
+        while ii < m {
+            let i_hi = (ii + TRANSPOSE_TILE).min(m);
+            let mut jj = 0;
+            while jj < n {
+                let j_hi = (jj + TRANSPOSE_TILE).min(n);
+                for i in ii..i_hi {
+                    for j in jj..j_hi {
+                        out[j * m + i] = self.data[i * n + j];
+                    }
+                }
+                jj = j_hi;
             }
+            ii = i_hi;
         }
         Tensor::from_vec(out, &[n, m])
     }
@@ -347,6 +461,65 @@ impl Tensor {
     }
 }
 
+/// Packs a row-major `[k, n]` matrix into column panels of [`GEMM_NC`]
+/// columns: panel-major, each panel holding its `k` rows contiguously.
+/// The GEMM inner loop then streams a panel row (a few cache lines) per
+/// `k` step instead of striding across the full matrix width, and the
+/// packed panels are shared read-only by every worker.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = vec![0.0f32; k * n];
+    let mut off = 0;
+    let mut jj = 0;
+    while jj < n {
+        let ncw = GEMM_NC.min(n - jj);
+        for kk in 0..k {
+            let src = &b[kk * n + jj..kk * n + jj + ncw];
+            packed[off..off + ncw].copy_from_slice(src);
+            off += ncw;
+        }
+        jj += ncw;
+    }
+    packed
+}
+
+/// Multiplies a block of `A` rows (`[rows, k]`, contiguous) by a
+/// panel-packed `B` (see [`pack_b_panels`]) into `out` (`[rows, n]`,
+/// zero-initialized).
+///
+/// Loop order is panel → k-tile → row → k → j: every output element sees
+/// its `k` contributions in ascending order (panels partition `j`, and the
+/// k-tiles are visited in order), so the result is bit-identical to the
+/// naive i-k-j loop while each `GEMM_KC × GEMM_NC` tile of `B` stays
+/// cache-resident across all rows of the block.
+fn gemm_packed_block(a_rows: &[f32], k: usize, packed_b: &[f32], n: usize, out: &mut [f32]) {
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    debug_assert_eq!(a_rows.len(), rows * k);
+    let mut panel_off = 0;
+    let mut jj = 0;
+    while jj < n {
+        let ncw = GEMM_NC.min(n - jj);
+        let panel = &packed_b[panel_off..panel_off + k * ncw];
+        let mut kk = 0;
+        while kk < k {
+            let k_hi = (kk + GEMM_KC).min(k);
+            for r in 0..rows {
+                let a_row = &a_rows[r * k..(r + 1) * k];
+                let out_row = &mut out[r * n + jj..r * n + jj + ncw];
+                for kidx in kk..k_hi {
+                    let aik = a_row[kidx];
+                    let b_row = &panel[kidx * ncw..(kidx + 1) * ncw];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+            kk = k_hi;
+        }
+        panel_off += k * ncw;
+        jj += ncw;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +557,98 @@ mod tests {
         let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
         let c = a.matmul(&Tensor::eye(4)).unwrap();
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_coefficients() {
+        // Regression: the old kernel skipped k-iterations where a == 0.0,
+        // silently dropping 0.0 × NaN/∞ contributions (IEEE: both are NaN)
+        // and making throughput data-dependent.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN must poison the output");
+        assert_eq!(c.data()[1], 4.0);
+
+        let binf = Tensor::from_vec(vec![f32::INFINITY, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let cinf = a.matmul(&binf).unwrap();
+        assert!(cinf.data()[0].is_nan(), "0·∞ is NaN");
+
+        // The fused variants agree on the poisoned results.
+        let at = a.transpose().unwrap();
+        assert!(at.matmul_at(&b).unwrap().data()[0].is_nan());
+        let bt = b.transpose().unwrap();
+        assert!(a.matmul_bt(&bt).unwrap().data()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_handles_large_blocked_shapes() {
+        // Exercise shapes that span multiple GEMM panels and k-tiles, and
+        // odd remainders, against a reference i-k-j loop.
+        let mut rng = XorShiftRng::new(77);
+        for (m, k, n) in [(3usize, 300usize, 70usize), (5, 65, 129), (1, 257, 1)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let c = a.matmul(&b).unwrap();
+            let mut expect = vec![0.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a.data()[i * k + kk];
+                    for j in 0..n {
+                        expect[i * n + j] += av * b.data()[kk * n + j];
+                    }
+                }
+            }
+            assert_eq!(c.data(), &expect[..], "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn fused_variants_match_composed_transpose_bitwise() {
+        let mut rng = XorShiftRng::new(88);
+        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[7, 9], 1.0, &mut rng);
+        let fused = a.matmul_at(&b).unwrap();
+        let composed = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused, composed);
+
+        let c = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let d = Tensor::randn(&[11, 6], 1.0, &mut rng);
+        let fused = c.matmul_bt(&d).unwrap();
+        let composed = c.matmul(&d.transpose().unwrap()).unwrap();
+        assert_eq!(fused, composed);
+    }
+
+    #[test]
+    fn fused_variants_reject_bad_shapes() {
+        let a = Tensor::zeros(&[3, 4]);
+        let b = Tensor::zeros(&[5, 6]);
+        assert!(matches!(
+            a.matmul_at(&b),
+            Err(TensorError::IncompatibleShapes { .. })
+        ));
+        assert!(matches!(
+            a.matmul_bt(&b),
+            Err(TensorError::IncompatibleShapes { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul_at(&v), Err(TensorError::BadRank { .. })));
+        assert!(matches!(a.matmul_bt(&v), Err(TensorError::BadRank { .. })));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_elementwise_on_tile_straddling_shapes() {
+        let mut rng = XorShiftRng::new(99);
+        for (m, n) in [(1usize, 1usize), (31, 33), (32, 32), (65, 3), (40, 100)] {
+            let a = Tensor::randn(&[m, n], 1.0, &mut rng);
+            let t = a.transpose().unwrap();
+            assert_eq!(t.shape(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(a.get2(i, j).unwrap(), t.get2(j, i).unwrap());
+                }
+            }
+        }
     }
 
     #[test]
