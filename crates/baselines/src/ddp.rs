@@ -127,6 +127,7 @@ pub fn simulate_traced(
         let step = ctx.sim.add_task(
             TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, params) + overhead)
                 .with_label("step-gpu")
+                .tagged(TaskTag::OptimizerStep)
                 .after_all(iter_end.iter().copied().chain(last)),
         )?;
         iters.close(&mut ctx, [step])?;

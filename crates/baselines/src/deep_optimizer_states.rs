@@ -173,11 +173,13 @@ pub fn simulate_traced(
                         chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
                     )
                     .with_label(format!("opt-fetch[{bi}]"))
+                    .tagged(TaskTag::Eviction)
                     .after(norm_sync),
                 )?;
                 let step = ctx.sim.add_task(
                     TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, gpu_elems) + overhead)
                         .with_label(format!("step-gpu[{bi}]"))
+                        .tagged(TaskTag::OptimizerStep)
                         .after(fetch),
                 )?;
                 let writeback = ctx.sim.add_task(
@@ -186,6 +188,7 @@ pub fn simulate_traced(
                         chip.c2c.transfer_time(gpu_elems * OPT_STATE_BYTES) + overhead,
                     )
                     .with_label(format!("opt-writeback[{bi}]"))
+                    .tagged(TaskTag::Eviction)
                     .after(step),
                 )?;
                 iter_end.push(writeback);
@@ -197,6 +200,7 @@ pub fn simulate_traced(
                         pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, cpu_elems) + overhead,
                     )
                     .with_label(format!("step-cpu[{bi}]"))
+                    .tagged(TaskTag::OptimizerStep)
                     .after(norm_sync),
                 )?;
                 let ret = ctx.sim.add_task(

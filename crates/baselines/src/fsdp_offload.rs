@@ -102,6 +102,7 @@ pub fn simulate_traced(
                         chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
                     )
                     .with_label(format!("unit-fetch-fwd[{l}]"))
+                    .tagged(TaskTag::Eviction)
                     .after_all(chain),
                 )?;
                 let fwd = ctx.sim.add_task(
@@ -118,6 +119,7 @@ pub fn simulate_traced(
                         chip.c2c.transfer_time_pageable(2 * unit_params) + overhead,
                     )
                     .with_label(format!("unit-fetch-bwd[{l}]"))
+                    .tagged(TaskTag::Eviction)
                     .after_all(chain),
                 )?;
                 let bwd = ctx.sim.add_task(
@@ -156,6 +158,7 @@ pub fn simulate_traced(
                         + overhead,
                 )
                 .with_label(format!("unit-step[{l}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after_all(chain),
             )?;
             chain = Some(step);

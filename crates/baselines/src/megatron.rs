@@ -170,6 +170,7 @@ pub fn simulate_with_mp_traced(
                 gpu_optimizer_time(&chip.gpu, params / mp as u64) + overhead,
             )
             .with_label("step-gpu")
+            .tagged(TaskTag::OptimizerStep)
             .after(step_dep),
         )?;
         iters.close(&mut ctx, [step])?;

@@ -177,6 +177,7 @@ pub fn simulate_traced(
                     gpu_optimizer_time(&chip.gpu, params / stages as u64) + overhead,
                 )
                 .with_label(format!("step[s{stage}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after(bwd[stage][m - 1].expect("built in order")),
             )?;
             iter_end.push(step);

@@ -178,6 +178,7 @@ pub fn simulate_traced(
                 gpu_optimizer_time(&chip.gpu, params / n) + overhead,
             )
             .with_label("step-gpu")
+            .tagged(TaskTag::OptimizerStep)
             .after_all(iter_end.iter().copied().chain(last)),
         )?;
         // ZeRO-2: all-gather updated FP16 params back to every rank.

@@ -175,12 +175,14 @@ pub fn simulate_with_nvme_traced(
             let fetch_f = ctx.sim.add_task(
                 TaskSpec::transfer(ctx.h2d, stream_per_pass)
                     .with_label("weight-stream-fwd")
+                    .tagged(TaskTag::Eviction)
                     .after_all(deps.iter().copied()),
             )?;
             let fwd = ctx.forward(compute.fwd_per_micro + overhead, [fetch_f])?;
             let fetch_b = ctx.sim.add_task(
                 TaskSpec::transfer(ctx.h2d, stream_per_pass)
                     .with_label("weight-stream-bwd")
+                    .tagged(TaskTag::Eviction)
                     .after(fwd),
             )?;
             let prev_chunk = ctx.backward_chunks(
@@ -239,6 +241,7 @@ pub fn simulate_with_nvme_traced(
                 let mut spec =
                     TaskSpec::transfer(nvme_res, tier.link.transfer_time(12 * elems) + overhead)
                         .with_label(format!("nvme-in[{bi}]"))
+                        .tagged(TaskTag::Eviction)
                         .after(norm_sync);
                 if let Some(p) = prev_nvme {
                     spec = spec.after(p);
@@ -253,12 +256,14 @@ pub fn simulate_with_nvme_traced(
                     pipeline_step_time(OptimizerImpl::CpuAdam, &chip.cpu, elems) + overhead,
                 )
                 .with_label(format!("step-cpu[{bi}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after(step_dep),
             )?;
             if let Some(tier) = nvme {
                 let out = ctx.sim.add_task(
                     TaskSpec::transfer(nvme_res, tier.link.transfer_time(12 * elems) + overhead)
                         .with_label(format!("nvme-out[{bi}]"))
+                        .tagged(TaskTag::Eviction)
                         .after(step),
                 )?;
                 prev_nvme = Some(out);

@@ -170,6 +170,7 @@ pub fn simulate_traced(
                         + overhead,
                 )
                 .with_label(format!("step-cpu[{bi}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after(norm_sync),
             )?;
             let ret = ctx.sim.add_task(

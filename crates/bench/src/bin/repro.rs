@@ -4,9 +4,11 @@
 //! cargo run --release -p superoffload-bench --bin repro -- all
 //! cargo run --release -p superoffload-bench --bin repro -- fig10 table2
 //! cargo run --release -p superoffload-bench --bin repro -- profile superoffload
+//! cargo run --release -p superoffload-bench --bin repro -- analyze superoffload
+//! cargo run --release -p superoffload-bench --bin repro -- compare base.json cur.json
 //! ```
 
-use superoffload_bench::{experiments, profile, realbench};
+use superoffload_bench::{analyze, compare, experiments, profile, realbench};
 
 const EXPERIMENTS: &[(&str, fn())] = &[
     ("table1", experiments::print_table1),
@@ -39,7 +41,10 @@ fn print_fig11_both() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <experiment>... | all | profile <system>");
+        eprintln!(
+            "usage: repro <experiment>... | all | profile <system> | analyze <system> \
+             | compare <baseline.json> <current.json> [--tolerance frac]"
+        );
         eprintln!(
             "experiments: {} all",
             EXPERIMENTS
@@ -49,6 +54,12 @@ fn main() {
                 .join(" ")
         );
         eprintln!("profile <system>: emit a Perfetto trace + metrics snapshot");
+        eprintln!("analyze <system>: critical-path + stall report, analysis_<system>.json");
+        eprintln!(
+            "compare <baseline> <current>: exit 1 if metrics regress beyond tolerance \
+             (default {})",
+            compare::DEFAULT_TOLERANCE
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
 
@@ -60,6 +71,42 @@ fn main() {
         };
         if let Err(msg) = profile::run(system) {
             eprintln!("profile failed: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // `analyze` also takes a system-name argument.
+    if args[0] == "analyze" {
+        let Some(system) = args.get(1) else {
+            eprintln!("usage: repro analyze <system>  (see `repro systems` for names)");
+            std::process::exit(2);
+        };
+        if let Err(msg) = analyze::run(system) {
+            eprintln!("analyze failed: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // `compare` takes two snapshot paths and an optional tolerance.
+    if args[0] == "compare" {
+        let (Some(baseline), Some(current)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: repro compare <baseline.json> <current.json> [--tolerance frac]");
+            std::process::exit(2);
+        };
+        let tolerance = match args.iter().position(|a| a == "--tolerance") {
+            Some(i) => match args.get(i + 1).and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative fraction, e.g. 0.02");
+                    std::process::exit(2);
+                }
+            },
+            None => compare::DEFAULT_TOLERANCE,
+        };
+        if let Err(msg) = compare::run(baseline, current, tolerance) {
+            eprintln!("compare failed: {msg}");
             std::process::exit(1);
         }
         return;

@@ -1,0 +1,418 @@
+//! The `repro -- compare <baseline.json> <current.json>` subcommand: diff
+//! two analysis / metrics / bench snapshots and exit non-zero when a metric
+//! regresses beyond a tolerance.
+//!
+//! Works on any of the repo's hand-rolled snapshot formats
+//! (`superoffload.analysis/v1`, `superoffload.metrics/v1`,
+//! `BENCH_realplane.json`): both files are parsed with
+//! [`superchip_sim::telemetry::parse_json`], every numeric leaf is flattened
+//! to a dotted path, and paths present in both snapshots are compared.
+//!
+//! ## Direction rules
+//!
+//! A metric only gates if its path says which direction is better:
+//!
+//! * **lower is better** — paths containing `idle`, `makespan`, `stall`,
+//!   `-us` / `_us` / `secs` time suffixes, or `iter-time`: a regression is
+//!   `current > baseline × (1 + tolerance)`.
+//! * **higher is better** — paths containing `tflops`, `mfu`, `util`,
+//!   `speedup`, `tokens_per_sec`, or `bandwidth`: a regression is
+//!   `current < baseline × (1 − tolerance)`.
+//! * anything else is reported as drift but never gates.
+//!
+//! A numeric path present in the baseline but missing from the current
+//! snapshot is always a regression (silent coverage loss). If either
+//! snapshot carries `"degraded_host": true` (written by `repro -- realbench`
+//! on single-core hosts), `speedup`/`tokens_per_sec`/`parallel` metrics are
+//! skipped — a one-thread host cannot demonstrate parallel speedup, so the
+//! 0.79× it measures is an artifact, not a regression.
+//!
+//! The default tolerance is 2% ([`DEFAULT_TOLERANCE`]) — the snapshots are
+//! deterministic simulated time, so byte-identical inputs always report
+//! zero regressions, and the tolerance only absorbs intentional small model
+//! recalibrations.
+
+use superchip_sim::telemetry::{parse_json, JsonValue};
+
+/// Relative tolerance used when the CLI does not pass `--tolerance`:
+/// a metric may move 2% in the worse direction before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Informational,
+}
+
+fn direction_of(path: &str) -> Direction {
+    let p = path.to_ascii_lowercase();
+    // Critical-path step listings are positional detail (task ids, start
+    // offsets): interesting to diff, wrong to gate on.
+    if p.contains("top_steps") || p.contains(".task") {
+        return Direction::Informational;
+    }
+    // Higher-is-better patterns first: "util" would otherwise never match
+    // after the broad time-suffix checks below.
+    for pat in [
+        "tflops",
+        "mfu",
+        "util",
+        "speedup",
+        "tokens_per_sec",
+        "bandwidth",
+    ] {
+        if p.contains(pat) {
+            return Direction::HigherIsBetter;
+        }
+    }
+    for pat in [
+        "idle",
+        "makespan",
+        "stall",
+        "iter-time",
+        "_us",
+        "-us",
+        "secs",
+    ] {
+        if p.contains(pat) {
+            return Direction::LowerIsBetter;
+        }
+    }
+    Direction::Informational
+}
+
+/// Flattens every numeric leaf of a snapshot into `(dotted path, value)`
+/// pairs. Array elements are keyed by their `name` / `resource` / `system` /
+/// `label` member when present (so reordering a resource list does not
+/// invalidate a baseline), falling back to the numeric index.
+pub fn flatten_numbers(v: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(v, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &JsonValue, path: String, out: &mut Vec<(String, f64)>) {
+    let join = |path: &str, seg: &str| {
+        if path.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{path}.{seg}")
+        }
+    };
+    match v {
+        JsonValue::Num(n) => out.push((path, *n)),
+        JsonValue::Obj(members) => {
+            for (k, val) in members {
+                walk(val, join(&path, k), out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            let keys: Vec<String> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    ["name", "resource", "system", "label"]
+                        .iter()
+                        .find_map(|k| item.get(k).and_then(JsonValue::as_str))
+                        .map_or_else(|| i.to_string(), str::to_string)
+                })
+                .collect();
+            for (i, item) in items.iter().enumerate() {
+                // A `name` key is only a stable address if it is unique in
+                // this array; duplicate keys fall back to positional form so
+                // distinct elements never collide in the flattened map.
+                let unique = keys.iter().filter(|k| **k == keys[i]).count() == 1;
+                let seg = if unique {
+                    keys[i].clone()
+                } else {
+                    format!("{}#{i}", keys[i])
+                };
+                walk(item, join(&path, &seg), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Whether either snapshot declares itself as coming from a host that
+/// cannot support parallel-speedup claims.
+fn degraded_host(v: &JsonValue) -> bool {
+    v.get("degraded_host").and_then(JsonValue::as_bool) == Some(true)
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted path of the metric.
+    pub path: String,
+    /// Baseline value (`None` when the metric is new).
+    pub baseline: Option<f64>,
+    /// Current value (`None` when the metric disappeared).
+    pub current: Option<f64>,
+    /// Whether this delta fails the gate.
+    pub regression: bool,
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct CompareResult {
+    /// Gating failures, in baseline path order.
+    pub regressions: Vec<Delta>,
+    /// Non-gating drifts (informational metrics, or in-tolerance moves of
+    /// gating metrics that still changed value).
+    pub drifts: Vec<Delta>,
+    /// Metrics skipped because a snapshot is marked `degraded_host`.
+    pub skipped: usize,
+    /// Metrics compared (present in both snapshots).
+    pub compared: usize,
+}
+
+impl CompareResult {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares two snapshot documents (already parsed). See the module docs
+/// for the direction rules and the `degraded_host` escape hatch.
+pub fn compare_values(baseline: &JsonValue, current: &JsonValue, tolerance: f64) -> CompareResult {
+    let skip_parallel = degraded_host(baseline) || degraded_host(current);
+    let base = flatten_numbers(baseline);
+    let cur = flatten_numbers(current);
+    let cur_map: std::collections::BTreeMap<&str, f64> =
+        cur.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut result = CompareResult {
+        regressions: Vec::new(),
+        drifts: Vec::new(),
+        skipped: 0,
+        compared: 0,
+    };
+    for (path, b) in &base {
+        let parallel_metric = {
+            let p = path.to_ascii_lowercase();
+            p.contains("speedup") || p.contains("tokens_per_sec") || p.contains("parallel")
+        };
+        if skip_parallel && parallel_metric {
+            result.skipped += 1;
+            continue;
+        }
+        let Some(&c) = cur_map.get(path.as_str()) else {
+            result.regressions.push(Delta {
+                path: path.clone(),
+                baseline: Some(*b),
+                current: None,
+                regression: true,
+            });
+            continue;
+        };
+        result.compared += 1;
+        if c == *b {
+            continue;
+        }
+        let worse = match direction_of(path) {
+            Direction::LowerIsBetter => c > b * (1.0 + tolerance) + f64::EPSILON,
+            Direction::HigherIsBetter => c < b * (1.0 - tolerance) - f64::EPSILON,
+            Direction::Informational => false,
+        };
+        let delta = Delta {
+            path: path.clone(),
+            baseline: Some(*b),
+            current: Some(c),
+            regression: worse,
+        };
+        if worse {
+            result.regressions.push(delta);
+        } else {
+            result.drifts.push(delta);
+        }
+    }
+    result
+}
+
+/// Compares two snapshot files.
+///
+/// # Errors
+/// A CLI-ready message when a file cannot be read or parsed.
+pub fn compare_files(
+    baseline_path: &str,
+    current_path: &str,
+    tolerance: f64,
+) -> Result<CompareResult, String> {
+    let read_parse = |path: &str| -> Result<JsonValue, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_json(&body).map_err(|e| format!("{path} is not valid JSON: {e}"))
+    };
+    let baseline = read_parse(baseline_path)?;
+    let current = read_parse(current_path)?;
+    Ok(compare_values(&baseline, &current, tolerance))
+}
+
+/// Entry point for `repro -- compare <baseline> <current> [--tolerance t]`.
+/// Prints a summary and returns `Err` (non-zero exit for the CLI) when any
+/// metric regresses beyond the tolerance.
+///
+/// # Errors
+/// A CLI-ready message on I/O / parse failure or when the gate fails.
+pub fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<(), String> {
+    let result = compare_files(baseline_path, current_path, tolerance)?;
+    println!(
+        "# Compare: {current_path} vs baseline {baseline_path} (tolerance {:.1}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "compared {} metrics, {} skipped (degraded host), {} drifted in-tolerance",
+        result.compared,
+        result.skipped,
+        result.drifts.len()
+    );
+    for d in result.drifts.iter().take(10) {
+        println!(
+            "  drift {:<52} {} -> {}",
+            d.path,
+            d.baseline.unwrap_or(f64::NAN),
+            d.current.unwrap_or(f64::NAN)
+        );
+    }
+    if result.passed() {
+        println!("OK: no regressions beyond tolerance");
+        Ok(())
+    } else {
+        for d in &result.regressions {
+            match d.current {
+                Some(c) => println!(
+                    "  REGRESSION {:<45} {} -> {c}",
+                    d.path,
+                    d.baseline.unwrap_or(f64::NAN)
+                ),
+                None => println!(
+                    "  REGRESSION {:<45} {} -> (missing)",
+                    d.path,
+                    d.baseline.unwrap_or(f64::NAN)
+                ),
+            }
+        }
+        Err(format!(
+            "{} metric(s) regressed beyond {:.1}% tolerance",
+            result.regressions.len(),
+            tolerance * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> JsonValue {
+        parse_json(s).unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_report_zero_regressions() {
+        let snap = v(r#"{"makespan_us": 100, "stalls": {"total_idle_us": 40}, "x": 1.5}"#);
+        let r = compare_values(&snap, &snap, DEFAULT_TOLERANCE);
+        assert!(r.passed());
+        assert!(r.drifts.is_empty());
+        assert_eq!(r.compared, 3);
+    }
+
+    #[test]
+    fn lower_is_better_regresses_upward_only() {
+        let base = v(r#"{"makespan_us": 100}"#);
+        let worse = v(r#"{"makespan_us": 103}"#);
+        let better = v(r#"{"makespan_us": 90}"#);
+        let within = v(r#"{"makespan_us": 101}"#);
+        assert!(!compare_values(&base, &worse, 0.02).passed());
+        assert!(compare_values(&base, &better, 0.02).passed());
+        assert!(compare_values(&base, &within, 0.02).passed());
+    }
+
+    #[test]
+    fn higher_is_better_regresses_downward_only() {
+        let base = v(r#"{"report.tflops": 100}"#);
+        let worse = v(r#"{"report.tflops": 95}"#);
+        let better = v(r#"{"report.tflops": 120}"#);
+        assert!(!compare_values(&base, &worse, 0.02).passed());
+        assert!(compare_values(&base, &better, 0.02).passed());
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let base = v(r#"{"critical_path": {"tasks": 40}}"#);
+        let moved = v(r#"{"critical_path": {"tasks": 80}}"#);
+        let r = compare_values(&base, &moved, 0.02);
+        assert!(r.passed());
+        assert_eq!(r.drifts.len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression() {
+        let base = v(r#"{"makespan_us": 100, "extra_us": 5}"#);
+        let cur = v(r#"{"makespan_us": 100}"#);
+        let r = compare_values(&base, &cur, 0.02);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].path, "extra_us");
+        assert_eq!(r.regressions[0].current, None);
+    }
+
+    #[test]
+    fn degraded_host_skips_parallel_claims() {
+        let base =
+            v(r#"{"degraded_host": false, "train_step": {"speedup": 1.9, "serial_secs": 1.0}}"#);
+        let degraded =
+            v(r#"{"degraded_host": true, "train_step": {"speedup": 0.79, "serial_secs": 1.0}}"#);
+        // Without the marker this would be a 58% speedup regression.
+        let r = compare_values(&base, &degraded, 0.02);
+        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.skipped >= 1);
+        // serial_secs still gates.
+        let slower =
+            v(r#"{"degraded_host": true, "train_step": {"speedup": 0.8, "serial_secs": 9.0}}"#);
+        assert!(!compare_values(&base, &slower, 0.02).passed());
+    }
+
+    #[test]
+    fn array_elements_key_by_name() {
+        let base =
+            v(r#"{"resources": [{"name": "gpu", "idle_us": 10}, {"name": "cpu", "idle_us": 50}]}"#);
+        // Same values, reordered: no regression.
+        let reordered =
+            v(r#"{"resources": [{"name": "cpu", "idle_us": 50}, {"name": "gpu", "idle_us": 10}]}"#);
+        assert!(compare_values(&base, &reordered, 0.0).passed());
+        let flat = flatten_numbers(&base);
+        assert!(flat.iter().any(|(k, _)| k == "resources.gpu.idle_us"));
+    }
+
+    #[test]
+    fn duplicate_array_keys_do_not_collide() {
+        // All steps share resource "gpu" (as real top_steps listings do):
+        // identical docs must flatten identically and report nothing.
+        let snap = v(r#"{"top_steps": [{"resource": "gpu", "start_us": 0},
+                               {"resource": "gpu", "start_us": 500}]}"#);
+        let r = compare_values(&snap, &snap, 0.0);
+        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.drifts.is_empty());
+        assert_eq!(r.compared, 2);
+        let flat = flatten_numbers(&snap);
+        assert!(flat.iter().any(|(k, _)| k == "top_steps.gpu#0.start_us"));
+    }
+
+    #[test]
+    fn top_steps_detail_never_gates() {
+        let base = v(r#"{"critical_path": {"top_steps": [{"resource": "gpu", "start_us": 10}]}}"#);
+        let moved = v(r#"{"critical_path": {"top_steps": [{"resource": "gpu", "start_us": 99}]}}"#);
+        let r = compare_values(&base, &moved, 0.0);
+        assert!(r.passed());
+        assert_eq!(r.drifts.len(), 1);
+    }
+
+    #[test]
+    fn run_reports_missing_file() {
+        let err = run("/no/such/baseline.json", "/no/such/current.json", 0.02).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

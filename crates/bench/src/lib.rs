@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod compare;
 pub mod experiments;
 pub mod profile;
 pub mod realbench;

@@ -1,0 +1,88 @@
+//! Grid test: the analyzer's contracts hold for every system in the
+//! standard registry, not just the headline pair.
+//!
+//! For each registered system that fits the smoke workload, the run's trace
+//! is analyzed and the critical-path and stall-attribution invariants are
+//! checked: cp length within [max per-resource busy, makespan], stall-class
+//! sums bit-exact against the simulator's idle ledger, and a valid,
+//! deterministic `superoffload.analysis/v1` snapshot.
+
+use baselines::standard_registry;
+use superchip_sim::engine::ResourceId;
+use superchip_sim::telemetry::{parse_json, validate_json};
+use superoffload_bench::profile::profile_system;
+
+#[test]
+fn analyzer_invariants_hold_across_the_registry() {
+    let registry = standard_registry();
+    assert_eq!(registry.len(), 10, "registry grew; extend this grid");
+    let mut feasible = 0;
+    for sys in registry.iter() {
+        let name = sys.name();
+        let profile = match profile_system(name) {
+            Ok(p) => p,
+            Err(Some(_)) => continue, // infeasible on the smoke workload
+            Err(None) => panic!("{name} vanished from the registry"),
+        };
+        feasible += 1;
+        let report = profile.analyze();
+
+        // Critical path sandwiched between max busy and makespan.
+        assert!(
+            report.cp_len_us <= report.makespan_us,
+            "{name}: cp {} > makespan {}",
+            report.cp_len_us,
+            report.makespan_us
+        );
+        for (ridx, stalls) in report.stalls.iter().enumerate() {
+            assert!(
+                report.cp_len_us >= stalls.busy_us,
+                "{name}: cp {} < busy {} on {}",
+                report.cp_len_us,
+                stalls.busy_us,
+                stalls.name
+            );
+
+            // Stall classes partition the recorded idle bit-exactly.
+            let sum: u64 = stalls.by_class.iter().sum();
+            assert_eq!(sum, stalls.idle_us, "{name}: class sum on {}", stalls.name);
+            assert_eq!(
+                stalls.idle_us,
+                profile.trace.idle_us(ResourceId::from_index(ridx)),
+                "{name}: idle ledger on {}",
+                stalls.name
+            );
+        }
+
+        // Every critical step has zero slack and the steps sum to cp length.
+        let step_sum: u64 = report.critical_path.iter().map(|s| s.dur_us).sum();
+        assert_eq!(
+            step_sum, report.cp_len_us,
+            "{name}: path does not telescope"
+        );
+        for step in &report.critical_path {
+            assert_eq!(
+                report.slack_us[step.task.index()],
+                0,
+                "{name}: critical step {} has slack",
+                step.label
+            );
+        }
+
+        // Snapshot is schema-stamped, valid, parseable, and deterministic.
+        let json = profile.analysis_json();
+        validate_json(&json).unwrap_or_else(|e| panic!("{name}: invalid snapshot: {e}"));
+        let doc = parse_json(&json).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("superoffload.analysis/v1"),
+            "{name}"
+        );
+        let again = profile_system(name).unwrap().analysis_json();
+        assert_eq!(json, again, "{name}: snapshot not deterministic");
+    }
+    assert!(
+        feasible >= 5,
+        "only {feasible} registry systems fit the smoke workload; grid lost coverage"
+    );
+}

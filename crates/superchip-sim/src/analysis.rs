@@ -1,0 +1,903 @@
+//! Post-hoc critical-path and stall analysis of executed traces.
+//!
+//! The paper's evaluation is an *attribution* story: every speedup is
+//! explained by showing where GPU idle time goes (PCIe/C2C transfers, CPU
+//! optimizer steps, synchronization bubbles) and which technique removes
+//! each stall class. This module reconstructs that story from a finished
+//! [`Trace`]:
+//!
+//! * **Critical path** — the longest chain of task durations through the
+//!   executed DAG, where edges are the submitted dependencies *plus* the
+//!   serialization order on each resource. Its length bounds the makespan
+//!   from below; per-task slack says how much any task could stretch
+//!   without lengthening that chain.
+//! * **Stall attribution** — every idle microsecond of every resource is
+//!   charged to exactly one [`StallClass`] by walking the *binding chain*:
+//!   the task that eventually ran was bound by some predecessor, which was
+//!   bound by another, and so on; each link's execution window classifies
+//!   the idle time it covers. Class durations sum exactly (in the
+//!   integer-microsecond ledger of [`Trace::idle_us`]) to the resource's
+//!   idle time.
+//! * **Bottleneck ranking** — resources ordered by their share of the
+//!   critical path, each with a what-if headroom estimate: the speedup
+//!   bound if that resource ran 2× faster, from a critical-path recompute
+//!   with its durations halved (schedule shape held fixed).
+//!
+//! All arithmetic is on integer microseconds ([`SimTime::as_micros_rounded`],
+//! the same quantization every export uses), so reports are byte-stable and
+//! the attribution invariants hold exactly, not within epsilon.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::engine::{ResourceId, TaskId, TaskKind, TaskTag};
+use crate::telemetry::escape_json;
+use crate::trace::{Interval, Trace};
+
+/// Schema identifier stamped into [`AnalysisReport::to_json`] output.
+pub const ANALYSIS_SCHEMA: &str = "superoffload.analysis/v1";
+
+/// Closed taxonomy of idle time. Every idle microsecond of every resource
+/// falls into exactly one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallClass {
+    /// Bound by a data movement or cast task in flight.
+    WaitingOnTransfer,
+    /// Bound by compute or a collective on another resource (a
+    /// synchronization bubble).
+    WaitingOnDependency,
+    /// Bound by a transfer that exists only because state could not stay
+    /// resident (tagged [`TaskTag::Eviction`]).
+    CapacityEvicted,
+    /// Bound by an optimizer step (tagged [`TaskTag::OptimizerStep`]) —
+    /// the paper's "exposed optimizer" stall.
+    OptimizerExposed,
+    /// Before the causal chain begins (release-time waits, time zero) or
+    /// after the resource's last task (drain to makespan).
+    StartupDrain,
+}
+
+/// All stall classes, in the fixed order reports list them.
+pub const STALL_CLASSES: [StallClass; 5] = [
+    StallClass::WaitingOnTransfer,
+    StallClass::WaitingOnDependency,
+    StallClass::CapacityEvicted,
+    StallClass::OptimizerExposed,
+    StallClass::StartupDrain,
+];
+
+impl StallClass {
+    /// Stable kebab-case name used in JSON output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallClass::WaitingOnTransfer => "waiting-on-transfer",
+            StallClass::WaitingOnDependency => "waiting-on-dependency",
+            StallClass::CapacityEvicted => "capacity-evicted",
+            StallClass::OptimizerExposed => "optimizer-exposed",
+            StallClass::StartupDrain => "startup-drain",
+        }
+    }
+}
+
+impl fmt::Display for StallClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One task on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// The task.
+    pub task: TaskId,
+    /// Resource it ran on.
+    pub resource: ResourceId,
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Task label.
+    pub label: String,
+    /// Start, integer microseconds.
+    pub start_us: u64,
+    /// Duration, integer microseconds.
+    pub dur_us: u64,
+}
+
+/// Stall attribution for one resource: its idle time partitioned into the
+/// five [`StallClass`]es.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceStalls {
+    /// Resource name.
+    pub name: String,
+    /// Busy microseconds ([`Trace::busy_us`]).
+    pub busy_us: u64,
+    /// Idle microseconds ([`Trace::idle_us`]); always equals the sum of
+    /// `by_class`.
+    pub idle_us: u64,
+    /// Idle microseconds per class, in [`STALL_CLASSES`] order.
+    pub by_class: [u64; 5],
+}
+
+impl ResourceStalls {
+    /// Idle microseconds charged to `class`.
+    pub fn class_us(&self, class: StallClass) -> u64 {
+        self.by_class[STALL_CLASSES.iter().position(|&c| c == class).unwrap()]
+    }
+}
+
+/// One entry of the bottleneck ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bottleneck {
+    /// Resource name.
+    pub resource: String,
+    /// Microseconds of critical-path time spent on this resource.
+    pub critical_path_us: u64,
+    /// `critical_path_us` as a fraction of the critical-path length.
+    pub cp_share: f64,
+    /// Total busy microseconds of the resource.
+    pub busy_us: u64,
+    /// Upper bound on end-to-end speedup if this resource ran 2× faster:
+    /// `makespan / critical-path-with-halved-durations`. The bound assumes
+    /// the schedule shape is fixed and everything off the new critical
+    /// path compresses perfectly — real speedup will be lower.
+    pub speedup_bound: f64,
+}
+
+/// The structured result of analyzing one trace.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Makespan in integer microseconds.
+    pub makespan_us: u64,
+    /// Critical-path length (sum of durations along the longest chain).
+    /// Invariants: `cp_len_us <= makespan_us` and `cp_len_us >=
+    /// busy_us(r)` for every resource `r`.
+    pub cp_len_us: u64,
+    /// The critical path, in execution order.
+    pub critical_path: Vec<CriticalStep>,
+    /// Per-task slack in microseconds, indexed by task submission order:
+    /// how much the task could stretch without lengthening the critical
+    /// path. Zero for every critical-path task.
+    pub slack_us: Vec<u64>,
+    /// Stall attribution per resource, in registration order.
+    pub stalls: Vec<ResourceStalls>,
+    /// Resources ranked by critical-path share (largest first), with
+    /// what-if headroom estimates. Only resources that appear on the
+    /// critical path are listed.
+    pub bottlenecks: Vec<Bottleneck>,
+}
+
+/// Per-task scheduling facts the analyzer derives once and reuses.
+struct Graph<'a> {
+    trace: &'a Trace,
+    /// Interval of each task, indexed by task id.
+    ivs: Vec<&'a Interval>,
+    /// Previous task in serialization order on the same resource.
+    resource_pred: Vec<Option<TaskId>>,
+    /// Sorted interval lists per resource (by start, end, task id).
+    by_resource: Vec<Vec<&'a Interval>>,
+}
+
+impl<'a> Graph<'a> {
+    fn new(trace: &'a Trace) -> Self {
+        let n = trace.intervals().len();
+        let mut ivs: Vec<Option<&Interval>> = vec![None; n];
+        for iv in trace.intervals() {
+            ivs[iv.task.index()] = Some(iv);
+        }
+        let ivs: Vec<&Interval> = ivs.into_iter().map(Option::unwrap).collect();
+
+        let mut by_resource: Vec<Vec<&Interval>> = vec![Vec::new(); trace.resource_names().len()];
+        for iv in trace.intervals() {
+            by_resource[iv.resource.index()].push(iv);
+        }
+        let mut resource_pred = vec![None; n];
+        for row in &mut by_resource {
+            row.sort_by(|a, b| {
+                (a.start, a.end, a.task)
+                    .partial_cmp(&(b.start, b.end, b.task))
+                    .unwrap()
+            });
+            for pair in row.windows(2) {
+                resource_pred[pair[1].task.index()] = Some(pair[0].task);
+            }
+        }
+        Graph {
+            trace,
+            ivs,
+            resource_pred,
+            by_resource,
+        }
+    }
+
+    /// All predecessors of `t`: submitted dependencies plus the previous
+    /// task on the same resource.
+    fn preds(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.trace
+            .deps_of(t)
+            .iter()
+            .copied()
+            .chain(self.resource_pred[t.index()])
+    }
+
+    /// The predecessor whose completion bound `t`'s start time (its end
+    /// equals `t`'s start bit-exactly — the engine copies these values),
+    /// or `None` when `t` started at its release time (or time zero).
+    ///
+    /// Ties are broken deterministically: highest task id wins, with
+    /// dependency edges preferred over the resource-serialization edge.
+    fn binding_pred(&self, t: TaskId) -> Option<TaskId> {
+        let start = self.ivs[t.index()].start;
+        let mut best: Option<TaskId> = None;
+        // Resource edge first so an equal-id... ids are unique; scan deps
+        // last so they win ties in `>=` below.
+        for p in self.resource_pred[t.index()]
+            .into_iter()
+            .chain(self.trace.deps_of(t).iter().copied())
+        {
+            if self.ivs[p.index()].end == start && best.is_none_or(|b| p >= b) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+}
+
+/// Classifies the stall caused by waiting on `iv`, or `None` for a
+/// zero-duration synchronization task (the walk chases through those to
+/// the real cause).
+fn class_of(iv: &Interval) -> Option<StallClass> {
+    if iv.kind == TaskKind::Sync && iv.duration_us() == 0 {
+        return None;
+    }
+    Some(match iv.tag {
+        TaskTag::OptimizerStep => StallClass::OptimizerExposed,
+        TaskTag::Eviction => StallClass::CapacityEvicted,
+        TaskTag::Generic => match iv.kind {
+            TaskKind::Transfer | TaskKind::Cast => StallClass::WaitingOnTransfer,
+            _ => StallClass::WaitingOnDependency,
+        },
+    })
+}
+
+/// Longest path (sum of `dur_us`) ending at each task, over dependency +
+/// resource-serialization edges, with optional duration scaling for the
+/// what-if recompute. `halved` selects a resource whose durations count
+/// half.
+fn longest_path(g: &Graph<'_>, order: &[TaskId], halved: Option<ResourceId>) -> Vec<u64> {
+    let dur = |t: TaskId| -> u64 {
+        let iv = g.ivs[t.index()];
+        let d = iv.duration_us();
+        if Some(iv.resource) == halved {
+            d / 2
+        } else {
+            d
+        }
+    };
+    let mut up = vec![0u64; g.ivs.len()];
+    for &t in order {
+        let base = g.preds(t).map(|p| up[p.index()]).max().unwrap_or(0);
+        up[t.index()] = base + dur(t);
+    }
+    up
+}
+
+/// Analyzes an executed trace: critical path, per-task slack, stall
+/// attribution, and bottleneck ranking. Deterministic — identical traces
+/// produce identical reports.
+pub fn analyze(trace: &Trace) -> AnalysisReport {
+    let g = Graph::new(trace);
+    let n = g.ivs.len();
+    let makespan_us = trace.makespan_us();
+
+    // Topological order: every edge (dependency or resource serialization)
+    // goes from an earlier (start, end, id) triple to a later one, except
+    // that a dependency's endpoints can share all three... they cannot:
+    // ids are unique, and dependency edges always point id-upward while
+    // resource edges follow the sorted serialization order. Sorting by
+    // (start, end, id) with the resource rows' own order spliced in is
+    // fragile, so use an explicit Kahn pass instead.
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for iv in trace.intervals() {
+        let t = iv.task;
+        for p in g.preds(t) {
+            succs[p.index()].push(t);
+            indegree[t.index()] += 1;
+        }
+    }
+    let mut order: Vec<TaskId> = Vec::with_capacity(n);
+    let mut queue: Vec<TaskId> = (0..n)
+        .map(TaskId::from_index)
+        .filter(|t| indegree[t.index()] == 0)
+        .collect();
+    while let Some(t) = queue.pop() {
+        order.push(t);
+        for &s in &succs[t.index()] {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "executed trace cannot contain a cycle");
+
+    // --- Critical path and slack -----------------------------------------
+    let up = longest_path(&g, &order, None);
+    let mut down = vec![0u64; n];
+    for &t in order.iter().rev() {
+        let base = succs[t.index()]
+            .iter()
+            .map(|s| down[s.index()])
+            .max()
+            .unwrap_or(0);
+        down[t.index()] = base + g.ivs[t.index()].duration_us();
+    }
+    let cp_len_us = up.iter().copied().max().unwrap_or(0);
+    let slack_us: Vec<u64> = (0..n)
+        .map(|i| cp_len_us - (up[i] + down[i] - g.ivs[i].duration_us()))
+        .collect();
+
+    // Backtrack one longest chain: end at the smallest-id maximal task,
+    // then repeatedly step to a predecessor that realizes the remainder.
+    let mut critical_path = Vec::new();
+    if n > 0 {
+        let mut cur = (0..n)
+            .map(TaskId::from_index)
+            .min_by_key(|t| (std::cmp::Reverse(up[t.index()]), *t))
+            .unwrap();
+        loop {
+            let iv = g.ivs[cur.index()];
+            critical_path.push(CriticalStep {
+                task: cur,
+                resource: iv.resource,
+                kind: iv.kind,
+                label: iv.label.clone(),
+                start_us: iv.start.as_micros_rounded(),
+                dur_us: iv.duration_us(),
+            });
+            let remainder = up[cur.index()] - iv.duration_us();
+            if remainder == 0 {
+                break;
+            }
+            cur = g
+                .preds(cur)
+                .filter(|p| up[p.index()] == remainder)
+                .min()
+                .expect("longest-path remainder is realized by some predecessor");
+        }
+        critical_path.reverse();
+    }
+
+    // --- Stall attribution ------------------------------------------------
+    let mut stalls = Vec::with_capacity(trace.resource_names().len());
+    for (ridx, name) in trace.resource_names().iter().enumerate() {
+        let rid = ResourceId::from_index(ridx);
+        let mut by_class = [0u64; 5];
+        let mut charge = |class: StallClass, us: u64| {
+            by_class[STALL_CLASSES.iter().position(|&c| c == class).unwrap()] += us;
+        };
+
+        // Walk the binding chain backwards from `task`, charging the idle
+        // window [gap_start_us, gap_end_us) segment by segment.
+        let mut attribute = |task: TaskId, gap_start_us: u64, gap_end_us: u64| {
+            let mut seg_end_us = gap_end_us;
+            let mut cur = task;
+            loop {
+                let Some(p) = g.binding_pred(cur) else {
+                    // Started at its release time (or time zero): the
+                    // remaining window has no in-trace cause.
+                    charge(StallClass::StartupDrain, seg_end_us - gap_start_us);
+                    return;
+                };
+                let p_iv = g.ivs[p.index()];
+                let p_start_us = p_iv.start.as_micros_rounded();
+                if let Some(class) = class_of(p_iv) {
+                    let lo = p_start_us.max(gap_start_us).min(seg_end_us);
+                    charge(class, seg_end_us - lo);
+                    seg_end_us = lo;
+                }
+                if p_start_us <= gap_start_us {
+                    // p (and through it, the rest of the chain) covers the
+                    // remainder of the window.
+                    charge(
+                        class_of(p_iv).unwrap_or(StallClass::WaitingOnDependency),
+                        seg_end_us - gap_start_us,
+                    );
+                    return;
+                }
+                seg_end_us = seg_end_us.min(p_start_us);
+                cur = p;
+            }
+        };
+
+        let row = &g.by_resource[ridx];
+        let mut run_end_us = 0u64;
+        for iv in row {
+            let start_us = iv.start.as_micros_rounded();
+            if start_us > run_end_us {
+                attribute(iv.task, run_end_us, start_us);
+            }
+            run_end_us = run_end_us.max(iv.end.as_micros_rounded());
+        }
+        if makespan_us > run_end_us {
+            charge(StallClass::StartupDrain, makespan_us - run_end_us);
+        }
+
+        stalls.push(ResourceStalls {
+            name: name.clone(),
+            busy_us: trace.busy_us(rid),
+            idle_us: trace.idle_us(rid),
+            by_class,
+        });
+    }
+
+    // --- Bottleneck ranking with what-if headroom -------------------------
+    let mut cp_by_resource = vec![0u64; trace.resource_names().len()];
+    for step in &critical_path {
+        cp_by_resource[step.resource.index()] += step.dur_us;
+    }
+    let mut ranked: Vec<usize> = (0..cp_by_resource.len())
+        .filter(|&r| cp_by_resource[r] > 0)
+        .collect();
+    ranked.sort_by_key(|&r| (std::cmp::Reverse(cp_by_resource[r]), r));
+    let bottlenecks = ranked
+        .into_iter()
+        .take(5)
+        .map(|r| {
+            let rid = ResourceId::from_index(r);
+            let halved = longest_path(&g, &order, Some(rid));
+            let new_cp = halved.iter().copied().max().unwrap_or(0);
+            Bottleneck {
+                resource: trace.resource_names()[r].clone(),
+                critical_path_us: cp_by_resource[r],
+                cp_share: if cp_len_us > 0 {
+                    cp_by_resource[r] as f64 / cp_len_us as f64
+                } else {
+                    0.0
+                },
+                busy_us: trace.busy_us(rid),
+                speedup_bound: if new_cp > 0 {
+                    makespan_us as f64 / new_cp as f64
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect();
+
+    AnalysisReport {
+        makespan_us,
+        cp_len_us,
+        critical_path,
+        slack_us,
+        stalls,
+        bottlenecks,
+    }
+}
+
+impl AnalysisReport {
+    /// Total idle microseconds across all resources.
+    pub fn total_idle_us(&self) -> u64 {
+        self.stalls.iter().map(|s| s.idle_us).sum()
+    }
+
+    /// Total idle microseconds per class across all resources, in
+    /// [`STALL_CLASSES`] order.
+    pub fn totals_by_class(&self) -> [u64; 5] {
+        let mut totals = [0u64; 5];
+        for s in &self.stalls {
+            for (t, v) in totals.iter_mut().zip(&s.by_class) {
+                *t += v;
+            }
+        }
+        totals
+    }
+
+    /// The longest critical-path steps (duration-descending, then start,
+    /// then task id), for compact reporting.
+    pub fn top_steps(&self, k: usize) -> Vec<&CriticalStep> {
+        let mut steps: Vec<&CriticalStep> = self.critical_path.iter().collect();
+        steps.sort_by_key(|s| (std::cmp::Reverse(s.dur_us), s.start_us, s.task));
+        steps.truncate(k);
+        steps
+    }
+
+    /// Serializes the report as a deterministic, versioned JSON object
+    /// (schema [`ANALYSIS_SCHEMA`]). `meta` entries identify the run, as
+    /// in [`crate::telemetry::MetricsRecorder::snapshot_json`].
+    ///
+    /// The critical path is summarized (length, per-resource and per-kind
+    /// totals, the 32 longest steps); full per-task slack is reduced to
+    /// counts so snapshots stay diff- and gate-friendly.
+    pub fn to_json(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", escape_json(ANALYSIS_SCHEMA));
+        out.push_str("  \"meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": \"{}\"", escape_json(k), escape_json(v));
+        }
+        if !meta.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"makespan_us\": {},", self.makespan_us);
+
+        // Critical path.
+        let mut by_res: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.critical_path {
+            *by_res
+                .entry(&self.stalls[s.resource.index()].name)
+                .or_insert(0) += s.dur_us;
+            *by_kind.entry(s.kind.to_string()).or_insert(0) += s.dur_us;
+        }
+        out.push_str("  \"critical_path\": {\n");
+        let _ = writeln!(out, "    \"length_us\": {},", self.cp_len_us);
+        let _ = writeln!(out, "    \"tasks\": {},", self.critical_path.len());
+        let frac = if self.makespan_us > 0 {
+            self.cp_len_us as f64 / self.makespan_us as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "    \"makespan_fraction\": {frac},");
+        out.push_str("    \"by_resource_us\": {");
+        for (i, (k, v)) in by_res.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\": {v}", escape_json(k));
+        }
+        out.push_str("},\n    \"by_kind_us\": {");
+        for (i, (k, v)) in by_kind.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\": {v}", escape_json(k));
+        }
+        out.push_str("},\n    \"top_steps\": [");
+        for (i, s) in self.top_steps(32).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"task\": {}, \"resource\": \"{}\", \"kind\": \"{}\", \"label\": \"{}\", \"start_us\": {}, \"dur_us\": {}}}",
+                s.task.index(),
+                escape_json(&self.stalls[s.resource.index()].name),
+                s.kind,
+                escape_json(&s.label),
+                s.start_us,
+                s.dur_us,
+            );
+        }
+        if !self.critical_path.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  },\n");
+
+        // Slack summary.
+        let zero_slack = self.slack_us.iter().filter(|&&s| s == 0).count();
+        let total_slack: u64 = self.slack_us.iter().sum();
+        let _ = writeln!(
+            out,
+            "  \"slack\": {{\"tasks\": {}, \"zero_slack_tasks\": {zero_slack}, \"total_slack_us\": {total_slack}}},",
+            self.slack_us.len()
+        );
+
+        // Stalls.
+        out.push_str("  \"stalls\": {\n");
+        let _ = writeln!(out, "    \"total_idle_us\": {},", self.total_idle_us());
+        out.push_str("    \"by_class_us\": {");
+        for (i, (class, total)) in STALL_CLASSES.iter().zip(self.totals_by_class()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{class}\": {total}");
+        }
+        out.push_str("},\n    \"resources\": [");
+        for (i, s) in self.stalls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"name\": \"{}\", \"busy_us\": {}, \"idle_us\": {}, \"classes\": {{",
+                escape_json(&s.name),
+                s.busy_us,
+                s.idle_us
+            );
+            for (j, (class, v)) in STALL_CLASSES.iter().zip(&s.by_class).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{class}\": {v}");
+            }
+            out.push_str("}}");
+        }
+        if !self.stalls.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  },\n");
+
+        // Bottlenecks.
+        out.push_str("  \"bottlenecks\": [");
+        for (i, b) in self.bottlenecks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"resource\": \"{}\", \"critical_path_us\": {}, \"cp_share\": {}, \"busy_us\": {}, \"speedup_bound\": {}}}",
+                escape_json(&b.resource),
+                b.critical_path_us,
+                b.cp_share,
+                b.busy_us,
+                b.speedup_bound,
+            );
+        }
+        if !self.bottlenecks.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let ms = |us: u64| us as f64 / 1e3;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "makespan {:.3} ms, critical path {:.3} ms ({:.1}% of makespan, {} tasks)",
+            ms(self.makespan_us),
+            ms(self.cp_len_us),
+            if self.makespan_us > 0 {
+                100.0 * self.cp_len_us as f64 / self.makespan_us as f64
+            } else {
+                0.0
+            },
+            self.critical_path.len(),
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "resource", "busy ms", "idle ms", "xfer ms", "dep ms", "evict ms", "opt ms", "edge ms"
+        );
+        for s in &self.stalls {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                s.name,
+                ms(s.busy_us),
+                ms(s.idle_us),
+                ms(s.by_class[0]),
+                ms(s.by_class[1]),
+                ms(s.by_class[2]),
+                ms(s.by_class[3]),
+                ms(s.by_class[4]),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{:<12} {:>10} {:>9} {:>14}",
+            "bottleneck", "cp ms", "share", "2x speedup <="
+        );
+        for b in &self.bottlenecks {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.3} {:>8.1}% {:>13.2}x",
+                b.resource,
+                ms(b.critical_path_us),
+                b.cp_share * 100.0,
+                b.speedup_bound,
+            );
+        }
+        let _ = writeln!(out, "\ntop critical-path steps:");
+        for s in self.top_steps(8) {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:<10} {:>10.3} ms at {:>10.3} ms",
+                if s.label.is_empty() {
+                    "(task)"
+                } else {
+                    &s.label
+                },
+                self.stalls[s.resource.index()].name,
+                ms(s.dur_us),
+                ms(s.start_us),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulator, TaskSpec};
+    use crate::time::SimTime;
+
+    fn ms(x: f64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    /// gpu: bwd(4ms) ......... fwd(2ms)
+    /// cpu: ........ step(3ms) .........
+    /// The GPU idles 3 ms waiting on the (tagged) optimizer step.
+    fn optimizer_exposed_trace() -> Trace {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let cpu = sim.add_resource("cpu");
+        let bwd = sim
+            .add_task(TaskSpec::compute(gpu, ms(4.0)).with_label("bwd"))
+            .unwrap();
+        let step = sim
+            .add_task(
+                TaskSpec::compute(cpu, ms(3.0))
+                    .with_label("step")
+                    .tagged(TaskTag::OptimizerStep)
+                    .after(bwd),
+            )
+            .unwrap();
+        sim.add_task(
+            TaskSpec::compute(gpu, ms(2.0))
+                .with_label("fwd")
+                .after(step),
+        )
+        .unwrap();
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn critical_path_is_the_full_chain() {
+        let report = analyze(&optimizer_exposed_trace());
+        assert_eq!(report.makespan_us, 9_000);
+        assert_eq!(report.cp_len_us, 9_000);
+        let labels: Vec<&str> = report
+            .critical_path
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["bwd", "step", "fwd"]);
+        assert!(report.slack_us.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn gpu_idle_charged_to_exposed_optimizer() {
+        let report = analyze(&optimizer_exposed_trace());
+        let gpu = &report.stalls[0];
+        assert_eq!(gpu.idle_us, 3_000);
+        assert_eq!(gpu.class_us(StallClass::OptimizerExposed), 3_000);
+        let cpu = &report.stalls[1];
+        assert_eq!(cpu.idle_us, 6_000);
+        // 4 ms waiting for bwd, 2 ms drain after its last task.
+        assert_eq!(cpu.class_us(StallClass::WaitingOnDependency), 4_000);
+        assert_eq!(cpu.class_us(StallClass::StartupDrain), 2_000);
+    }
+
+    #[test]
+    fn stall_classes_partition_idle_exactly() {
+        let trace = optimizer_exposed_trace();
+        let report = analyze(&trace);
+        for (ridx, s) in report.stalls.iter().enumerate() {
+            let sum: u64 = s.by_class.iter().sum();
+            assert_eq!(sum, s.idle_us);
+            assert_eq!(s.idle_us, trace.idle_us(ResourceId::from_index(ridx)));
+        }
+    }
+
+    #[test]
+    fn transfer_stall_classified_and_chased_through_sync() {
+        // gpu: a(2ms) ................. c
+        // link: ...... x(3ms, evict) ....
+        // gate: sync after x; c waits on gate.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let link = sim.add_resource("link");
+        let a = sim.add_task(TaskSpec::compute(gpu, ms(2.0))).unwrap();
+        let x = sim
+            .add_task(
+                TaskSpec::transfer(link, ms(3.0))
+                    .tagged(TaskTag::Eviction)
+                    .after(a),
+            )
+            .unwrap();
+        let gate = sim.add_task(TaskSpec::sync(gpu).after(x)).unwrap();
+        sim.add_task(TaskSpec::compute(gpu, ms(1.0)).after(gate))
+            .unwrap();
+        let report = analyze(&sim.run().unwrap());
+        let gpu_stalls = &report.stalls[0];
+        assert_eq!(gpu_stalls.idle_us, 3_000);
+        // The sync gate is chased through to the tagged eviction transfer.
+        assert_eq!(gpu_stalls.class_us(StallClass::CapacityEvicted), 3_000);
+    }
+
+    #[test]
+    fn cp_invariants_hold() {
+        let trace = optimizer_exposed_trace();
+        let report = analyze(&trace);
+        assert!(report.cp_len_us <= report.makespan_us);
+        for ridx in 0..trace.resource_names().len() {
+            assert!(report.cp_len_us >= trace.busy_us(ResourceId::from_index(ridx)));
+        }
+    }
+
+    #[test]
+    fn bottlenecks_ranked_with_headroom() {
+        let report = analyze(&optimizer_exposed_trace());
+        assert_eq!(report.bottlenecks[0].resource, "gpu");
+        assert_eq!(report.bottlenecks[0].critical_path_us, 6_000);
+        // Halving gpu time: cp = 2 + 3 + 1 = 6 ms; bound = 9/6.
+        assert!((report.bottlenecks[0].speedup_bound - 1.5).abs() < 1e-12);
+        let cpu = &report.bottlenecks[1];
+        assert_eq!(cpu.resource, "cpu");
+        // Halving cpu: cp = 4 + 1.5 + 2 = 7.5 ms; bound = 9/7.5 = 1.2.
+        assert!((cpu.speedup_bound - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_nonzero_off_critical_path() {
+        // Two parallel chains: long (6ms) and short (1ms) joined by a gate.
+        let mut sim = Simulator::new();
+        let a = sim.add_resource("a");
+        let b = sim.add_resource("b");
+        let long = sim.add_task(TaskSpec::compute(a, ms(6.0))).unwrap();
+        let short = sim.add_task(TaskSpec::compute(b, ms(1.0))).unwrap();
+        sim.add_task(TaskSpec::sync(a).after(long).after(short))
+            .unwrap();
+        let report = analyze(&sim.run().unwrap());
+        assert_eq!(report.slack_us[long.index()], 0);
+        assert_eq!(report.slack_us[short.index()], 5_000);
+    }
+
+    #[test]
+    fn startup_and_drain_attributed() {
+        // One task released late on an otherwise empty resource pair.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        sim.add_resource("idle");
+        sim.add_task(TaskSpec::compute(gpu, ms(1.0)).not_before(ms(2.0)))
+            .unwrap();
+        let report = analyze(&sim.run().unwrap());
+        assert_eq!(report.stalls[0].class_us(StallClass::StartupDrain), 2_000);
+        assert_eq!(report.stalls[1].class_us(StallClass::StartupDrain), 3_000);
+        assert_eq!(report.makespan_us, 3_000);
+        assert_eq!(report.cp_len_us, 1_000);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_cleanly() {
+        let mut sim = Simulator::new();
+        sim.add_resource("gpu");
+        let report = analyze(&sim.run().unwrap());
+        assert_eq!(report.makespan_us, 0);
+        assert_eq!(report.cp_len_us, 0);
+        assert!(report.critical_path.is_empty());
+        assert!(report.bottlenecks.is_empty());
+        crate::telemetry::validate_json(&report.to_json(&[])).unwrap();
+    }
+
+    #[test]
+    fn json_is_valid_and_deterministic() {
+        let trace = optimizer_exposed_trace();
+        let a = analyze(&trace).to_json(&[("system", "demo".to_string())]);
+        let b = analyze(&trace).to_json(&[("system", "demo".to_string())]);
+        assert_eq!(a, b);
+        crate::telemetry::validate_json(&a).unwrap();
+        assert!(a.contains(ANALYSIS_SCHEMA));
+        assert!(a.contains("\"optimizer-exposed\": 3000"));
+        assert!(a.contains("\"by_resource_us\""));
+    }
+
+    #[test]
+    fn table_renders_key_lines() {
+        let s = analyze(&optimizer_exposed_trace()).render_table();
+        assert!(s.contains("critical path"));
+        assert!(s.contains("bottleneck"));
+        assert!(s.contains("gpu"));
+    }
+}

@@ -75,13 +75,17 @@ pub fn to_chrome_trace(trace: &Trace, resource_names: &[&str]) -> String {
 /// Slice events come first (as in [`to_chrome_trace`]), followed by one
 /// `"ph":"C"` counter event per telemetry sample — so a single file shows
 /// compute/transfer rows alongside memory-occupancy and bandwidth tracks.
+///
+/// Every counter track is closed with a final sample repeating its last
+/// value at the trace makespan, so Perfetto does not extrapolate the last
+/// counter value past the end of the run.
 pub fn to_chrome_trace_with_counters(
     trace: &Trace,
     resource_names: &[&str],
     metrics: &MetricsRecorder,
 ) -> String {
     let mut events = slice_events(trace, resource_names);
-    events.extend(metrics.chrome_counter_events(0));
+    events.extend(metrics.chrome_counter_events_until(0, trace.makespan_us()));
     format!("[{}]", events.join(",\n"))
 }
 
@@ -164,6 +168,27 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
         assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
         assert!(json.contains(r#""name":"mem:hbm","ph":"C","ts":0,"pid":0,"args":{"bytes":42}"#));
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn counters_close_at_makespan() {
+        // Makespan is 3 ms but the last memory sample is at 1 ms: the export
+        // must repeat the value at 3000 us so Perfetto does not extrapolate.
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu");
+        let a = sim
+            .add_task(TaskSpec::compute(gpu, SimTime::from_millis(1.0)))
+            .unwrap();
+        sim.add_task(TaskSpec::compute(gpu, SimTime::from_millis(2.0)).after(a))
+            .unwrap();
+        let trace = sim.run().unwrap();
+        let mut rec = MetricsRecorder::new();
+        rec.sample_us("mem:hbm", "bytes", 0, 42.0);
+        rec.sample_us("mem:hbm", "bytes", 1000, 7.0);
+        let json = to_chrome_trace_with_counters(&trace, &["gpu"], &rec);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
+        assert!(json.contains(r#""name":"mem:hbm","ph":"C","ts":3000,"pid":0,"args":{"bytes":7}"#));
         validate_json(&json).unwrap();
     }
 

@@ -25,6 +25,13 @@ impl ResourceId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Reconstructs the id of the resource registered at index `i` (the
+    /// inverse of [`ResourceId::index`]). Ids for indices that were never
+    /// registered are harmless: every accessor treats them as unknown.
+    pub fn from_index(i: usize) -> Self {
+        ResourceId(i)
+    }
 }
 
 /// Opaque identifier of a scheduled task.
@@ -35,6 +42,13 @@ impl TaskId {
     /// Index of this task in submission order.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Reconstructs the id of the task submitted at index `i` (the inverse
+    /// of [`TaskId::index`]). Ids for indices that were never submitted are
+    /// harmless: every accessor treats them as unknown.
+    pub fn from_index(i: usize) -> Self {
+        TaskId(i)
     }
 }
 
@@ -68,6 +82,39 @@ impl fmt::Display for TaskKind {
     }
 }
 
+/// Semantic role of a task, beyond its [`TaskKind`], used by the stall
+/// attribution in [`crate::analysis`]: idle time bound by a tagged task is
+/// charged to the matching stall class (optimizer-exposed,
+/// capacity-evicted) instead of the generic waiting-on-* classes.
+///
+/// Schedule builders opt in with [`TaskSpec::tagged`]; untagged tasks
+/// classify by kind alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum TaskTag {
+    /// No special role (the default).
+    #[default]
+    Generic,
+    /// An optimizer step (CPU or GPU): idle time waiting on it is the
+    /// paper's "exposed optimizer" stall.
+    OptimizerStep,
+    /// A transfer that exists only because state could not stay resident
+    /// (weight streaming, NVMe spill/fill, offloaded optimizer-state
+    /// fetch): idle time waiting on it is a capacity-eviction stall.
+    Eviction,
+}
+
+impl fmt::Display for TaskTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskTag::Generic => "generic",
+            TaskTag::OptimizerStep => "optimizer-step",
+            TaskTag::Eviction => "eviction",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Specification of one task in the graph.
 ///
 /// Build with the kind-specific constructors and chain [`TaskSpec::after`] /
@@ -91,6 +138,7 @@ pub struct TaskSpec {
     pub(crate) deps: Vec<TaskId>,
     pub(crate) label: String,
     pub(crate) kind: TaskKind,
+    pub(crate) tag: TaskTag,
     /// Earliest time the task may start regardless of dependencies.
     pub(crate) not_before: SimTime,
 }
@@ -104,6 +152,7 @@ impl TaskSpec {
             deps: Vec::new(),
             label: String::new(),
             kind,
+            tag: TaskTag::Generic,
             not_before: SimTime::ZERO,
         }
     }
@@ -158,6 +207,14 @@ impl TaskSpec {
     #[must_use]
     pub fn not_before(mut self, t: SimTime) -> Self {
         self.not_before = t;
+        self
+    }
+
+    /// Marks the semantic role of this task for stall attribution (see
+    /// [`TaskTag`]).
+    #[must_use]
+    pub fn tagged(mut self, tag: TaskTag) -> Self {
+        self.tag = tag;
         self
     }
 }
@@ -285,11 +342,12 @@ impl Simulator {
         let mut done = 0usize;
 
         while let Some(Reverse((ready_at, id))) = ready.pop() {
-            let (start, end, resource, kind, label);
+            let (start, end, resource, kind, tag, label);
             {
                 let task = &self.tasks[id.0];
                 resource = task.spec.resource;
                 kind = task.spec.kind;
+                tag = task.spec.tag;
                 label = task.spec.label.clone();
                 let s = ready_at.max(resource_free[resource.0]);
                 start = s;
@@ -312,6 +370,7 @@ impl Simulator {
                 task: id,
                 resource,
                 kind,
+                tag,
                 label,
                 start,
                 end,
@@ -336,7 +395,9 @@ impl Simulator {
         }
 
         let intervals: Vec<Interval> = intervals.into_iter().map(Option::unwrap).collect();
-        let trace = Trace::new(self.resources.clone(), intervals);
+        let deps: Vec<Vec<TaskId>> = self.tasks.iter().map(|t| t.spec.deps.clone()).collect();
+        let not_before: Vec<SimTime> = self.tasks.iter().map(|t| t.spec.not_before).collect();
+        let trace = Trace::new(self.resources.clone(), intervals, deps, not_before);
         if let Some(rec) = rec {
             let mut busy = vec![SimTime::ZERO; self.resources.len()];
             for iv in trace.intervals() {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod chrome_trace;
 pub mod collective;
 pub mod engine;
@@ -54,7 +55,8 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Simulator, TaskId, TaskKind, TaskSpec};
+pub use analysis::{analyze, AnalysisReport, StallClass};
+pub use engine::{Simulator, TaskId, TaskKind, TaskSpec, TaskTag};
 pub use error::SimError;
 pub use link::{BandwidthCurve, Link, LinkKind};
 pub use memory::MemoryPool;
@@ -65,8 +67,9 @@ pub use trace::{ResourceStats, Trace};
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
+    pub use crate::analysis::{analyze, AnalysisReport, StallClass, STALL_CLASSES};
     pub use crate::collective::{self, CollectiveCost};
-    pub use crate::engine::{ResourceId, Simulator, TaskId, TaskKind, TaskSpec};
+    pub use crate::engine::{ResourceId, Simulator, TaskId, TaskKind, TaskSpec, TaskTag};
     pub use crate::error::SimError;
     pub use crate::link::{BandwidthCurve, Link, LinkKind};
     pub use crate::memory::MemoryPool;

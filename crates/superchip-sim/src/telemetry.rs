@@ -166,10 +166,29 @@ impl MetricsRecorder {
     /// timestamp samples keep insertion order and the last one wins in
     /// Perfetto's rendering).
     pub fn chrome_counter_events(&self, pid: u32) -> Vec<String> {
+        self.counter_events_inner(pid, None)
+    }
+
+    /// Like [`MetricsRecorder::chrome_counter_events`], but closes every
+    /// track with a final sample repeating its last value at `end_us` (the
+    /// trace makespan). Without this, Perfetto extrapolates the last counter
+    /// value past the end of the trace, which misreads as activity after the
+    /// run finished. Tracks whose last sample is already at or past `end_us`
+    /// are emitted unchanged.
+    pub fn chrome_counter_events_until(&self, pid: u32, end_us: u64) -> Vec<String> {
+        self.counter_events_inner(pid, Some(end_us))
+    }
+
+    fn counter_events_inner(&self, pid: u32, end_us: Option<u64>) -> Vec<String> {
         let mut events = Vec::new();
         for (name, track) in &self.tracks {
             let mut samples = track.samples.clone();
             samples.sort_by_key(|&(ts, _)| ts);
+            if let (Some(end), Some(&(last_ts, last_v))) = (end_us, samples.last()) {
+                if last_ts < end {
+                    samples.push((end, last_v));
+                }
+            }
             let arg = if track.unit.is_empty() {
                 "value".to_string()
             } else {
@@ -481,6 +500,272 @@ impl JsonChecker<'_> {
     }
 }
 
+/// A parsed JSON value, produced by [`parse_json`].
+///
+/// Object members keep their document order (duplicate keys are kept as-is;
+/// [`JsonValue::get`] returns the first). Numbers are `f64`, which is exact
+/// for the integer-microsecond magnitudes our snapshots contain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, members in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// First member of an object named `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` into a [`JsonValue`].
+///
+/// Accepts exactly what [`validate_json`] accepts (it runs the same grammar),
+/// so `parse_json(s).is_ok() == validate_json(s).is_ok()` — the round-trip
+/// tests rely on this agreement.
+///
+/// # Errors
+/// Returns a human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    validate_json(s)?;
+    let mut p = JsonParser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+/// Value-building twin of [`JsonChecker`]. Runs after validation, so it can
+/// assume the input is syntactically well-formed and keep error paths thin.
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => {
+                self.i += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.i += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'n') => {
+                self.i += 4;
+                Ok(JsonValue::Null)
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.i += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.i += 1; // ':'
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                _ => {
+                    self.i += 1; // '}'
+                    return Ok(JsonValue::Obj(members));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.i += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                _ => {
+                    self.i += 1; // ']'
+                    return Ok(JsonValue::Arr(items));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            // Combine a surrogate pair if one follows;
+                            // anything unpaired decodes to U+FFFD.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if self.b[self.i..].starts_with(b"\\u") {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(hi).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.i
+                            ))
+                        }
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.b[self.i..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8".to_string())?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|c| (c as char).to_digit(16))
+                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +849,92 @@ mod tests {
         assert!(validate_json("01").is_ok()); // lenient: digits only
         assert!(validate_json("\"unterminated").is_err());
         assert!(validate_json("nul").is_err());
+    }
+
+    #[test]
+    fn counter_events_until_repeats_last_value() {
+        let mut rec = MetricsRecorder::new();
+        rec.sample_us("mem:hbm", "bytes", 5, 1.0);
+        rec.sample_us("flat", "us", 10, 3.0);
+        let events = rec.chrome_counter_events_until(0, 10);
+        // "flat" ends exactly at 10 (no extra sample); "mem:hbm" gets one.
+        assert_eq!(events.len(), 3);
+        assert!(events
+            .iter()
+            .any(|e| e.contains(r#""name":"mem:hbm","ph":"C","ts":10"#)
+                && e.contains(r#"{"bytes":1}"#)));
+        assert_eq!(events.iter().filter(|e| e.contains("\"flat\"")).count(), 1);
+        // Without an end bound, nothing is appended.
+        assert_eq!(rec.chrome_counter_events(0).len(), 2);
+    }
+
+    #[test]
+    fn parse_json_builds_values() {
+        let v =
+            parse_json(r#"{"a": [1, -2.5, 3e-4], "b": "x\"\n", "c": null, "d": true}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(-2.5),
+                JsonValue::Num(3e-4),
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"\n"));
+        assert_eq!(v.get("c").unwrap(), &JsonValue::Null);
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_json_decodes_unicode_escapes() {
+        let v = parse_json(r#""Aé😀\ud800""#).unwrap();
+        // BMP char, accented char, surrogate pair, unpaired surrogate.
+        assert_eq!(v.as_str(), Some("Aé😀\u{FFFD}"));
+    }
+
+    #[test]
+    fn parse_json_agrees_with_validate_json() {
+        for s in [
+            "{",
+            "[1,]",
+            r#"{"a" 1}"#,
+            "1 2",
+            "\"unterminated",
+            "nul",
+            "",
+            "{\"x\": [/* no */]}",
+        ] {
+            assert!(validate_json(s).is_err());
+            assert!(parse_json(s).is_err());
+        }
+        for s in ["[]", "true", "0", r#"{"k": {"k": [[["deep"]]]}}"#] {
+            assert!(validate_json(s).is_ok());
+            assert!(parse_json(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_parser() {
+        let mut rec = MetricsRecorder::new();
+        rec.add("tasks.compute", 3);
+        rec.set_gauge("peak", 1.5);
+        rec.sample_us("t", "us", 3, 0.5);
+        let json = rec.snapshot_json(&[("system", "a\"b\\c".to_string())]);
+        let v = parse_json(&json).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+        assert_eq!(
+            v.get("meta").unwrap().get("system").unwrap().as_str(),
+            Some("a\"b\\c")
+        );
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("tasks.compute")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
     }
 
     #[test]

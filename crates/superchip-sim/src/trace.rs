@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::engine::{ResourceId, TaskId, TaskKind};
+use crate::engine::{ResourceId, TaskId, TaskKind, TaskTag};
 use crate::time::SimTime;
 
 /// One executed task occurrence on a resource timeline.
@@ -15,6 +15,8 @@ pub struct Interval {
     pub resource: ResourceId,
     /// Category of the work.
     pub kind: TaskKind,
+    /// Semantic role for stall attribution.
+    pub tag: TaskTag,
     /// Human-readable label.
     pub label: String,
     /// Start time.
@@ -27,6 +29,14 @@ impl Interval {
     /// Duration of the interval.
     pub fn duration(&self) -> SimTime {
         self.end - self.start
+    }
+
+    /// Duration in integer microseconds, the exact-arithmetic ledger used
+    /// by trace exports and [`crate::analysis`].
+    pub fn duration_us(&self) -> u64 {
+        self.end
+            .as_micros_rounded()
+            .saturating_sub(self.start.as_micros_rounded())
     }
 }
 
@@ -59,10 +69,20 @@ pub struct Trace {
     intervals: Vec<Interval>,
     by_task: HashMap<TaskId, usize>,
     makespan: SimTime,
+    /// Dependency edges of the executed DAG, indexed by task submission
+    /// order (`deps[t]` are the tasks `t` waited for).
+    deps: Vec<Vec<TaskId>>,
+    /// Per-task `not_before` release times, indexed like `deps`.
+    not_before: Vec<SimTime>,
 }
 
 impl Trace {
-    pub(crate) fn new(resource_names: Vec<String>, intervals: Vec<Interval>) -> Self {
+    pub(crate) fn new(
+        resource_names: Vec<String>,
+        intervals: Vec<Interval>,
+        deps: Vec<Vec<TaskId>>,
+        not_before: Vec<SimTime>,
+    ) -> Self {
         let makespan = intervals
             .iter()
             .map(|i| i.end)
@@ -78,12 +98,51 @@ impl Trace {
             intervals,
             by_task,
             makespan,
+            deps,
+            not_before,
         }
     }
 
     /// Total simulated time from zero to the last task completion.
     pub fn makespan(&self) -> SimTime {
         self.makespan
+    }
+
+    /// Makespan in integer microseconds (the units of all exports).
+    pub fn makespan_us(&self) -> u64 {
+        self.makespan.as_micros_rounded()
+    }
+
+    /// Dependency edges of `task` as submitted to the simulator, or an
+    /// empty slice for an unknown task.
+    pub fn deps_of(&self, task: TaskId) -> &[TaskId] {
+        self.deps.get(task.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The `not_before` release time `task` was submitted with.
+    pub fn release_time(&self, task: TaskId) -> SimTime {
+        self.not_before
+            .get(task.index())
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Busy time of a resource in integer microseconds: the sum of its
+    /// intervals' [`Interval::duration_us`]. Exact (no float rounding), so
+    /// `makespan_us - busy_us` partitions cleanly into stall classes.
+    pub fn busy_us(&self, resource: ResourceId) -> u64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.resource == resource)
+            .map(Interval::duration_us)
+            .sum()
+    }
+
+    /// Idle time of a resource within `[0, makespan]`, in integer
+    /// microseconds — the simulator's reported idle ledger that
+    /// [`crate::analysis`] attributes stall-by-stall.
+    pub fn idle_us(&self, resource: ResourceId) -> u64 {
+        self.makespan_us().saturating_sub(self.busy_us(resource))
     }
 
     /// Names of all resources, in registration order (row order for

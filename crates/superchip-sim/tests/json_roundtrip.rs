@@ -1,0 +1,160 @@
+//! Round-trip tests for the hand-rolled JSON layer on real analysis and
+//! metrics snapshots: adversarial string escaping, empty tracks, and deep
+//! nesting. `validate_json` must accept everything the emitters produce and
+//! `parse_json` must recover the exact values.
+
+use proptest::prelude::*;
+use superchip_sim::prelude::*;
+use superchip_sim::telemetry::{parse_json, validate_json, JsonValue, MetricsRecorder};
+
+/// A trace whose task labels contain every character class the escaper has
+/// to handle: quotes, backslashes, control characters, and non-ASCII.
+fn adversarial_trace() -> Trace {
+    let mut sim = Simulator::new();
+    let gpu = sim.add_resource("gpu \"0\"");
+    let labels = [
+        "quote \" backslash \\ slash /",
+        "control \u{1} tab \t newline \n",
+        "unicode µs → 终 𝄞",
+        "", // empty label
+    ];
+    let mut prev = None;
+    for (i, label) in labels.iter().enumerate() {
+        let mut spec =
+            TaskSpec::compute(gpu, SimTime::from_millis(1.0 + i as f64)).with_label(*label);
+        if let Some(p) = prev {
+            spec = spec.after(p);
+        }
+        prev = Some(sim.add_task(spec).unwrap());
+    }
+    sim.run().unwrap()
+}
+
+#[test]
+fn analysis_snapshot_with_hostile_labels_round_trips() {
+    let trace = adversarial_trace();
+    let report = analyze(&trace);
+    let json = report.to_json(&[
+        ("system", "escape \"test\" \\ suite".to_string()),
+        ("note", "line1\nline2\t\u{7f}".to_string()),
+    ]);
+    validate_json(&json).expect("emitter produced invalid JSON");
+    let doc = parse_json(&json).expect("validator accepted what parser rejects");
+    assert_eq!(
+        doc.get("meta")
+            .and_then(|m| m.get("system"))
+            .and_then(JsonValue::as_str),
+        Some("escape \"test\" \\ suite")
+    );
+    assert_eq!(
+        doc.get("meta")
+            .and_then(|m| m.get("note"))
+            .and_then(JsonValue::as_str),
+        Some("line1\nline2\t\u{7f}")
+    );
+    // The hostile labels survive into the critical-path step list.
+    let steps = doc
+        .get("critical_path")
+        .and_then(|c| c.get("top_steps"))
+        .expect("top_steps present");
+    let JsonValue::Arr(items) = steps else {
+        panic!("top_steps is not an array")
+    };
+    let labels: Vec<&str> = items
+        .iter()
+        .filter_map(|s| s.get("label").and_then(JsonValue::as_str))
+        .collect();
+    assert!(labels.contains(&"unicode µs → 终 𝄞"), "{labels:?}");
+    assert!(
+        labels.contains(&"control \u{1} tab \t newline \n"),
+        "{labels:?}"
+    );
+}
+
+#[test]
+fn metrics_snapshot_with_empty_tracks_round_trips() {
+    let mut metrics = MetricsRecorder::new();
+    // Declare tracks without ever sampling them: the snapshot must still be
+    // valid JSON with empty sample arrays, and counters of zero must emit.
+    metrics.sample("empty:track", "unit", SimTime::ZERO, 0.0);
+    let mut metrics2 = MetricsRecorder::new();
+    metrics2.add("touched.never", 0);
+    for m in [&metrics, &metrics2] {
+        let json = m.snapshot_json(&[("kind", "empty-case".to_string())]);
+        validate_json(&json).unwrap();
+        let doc = parse_json(&json).unwrap();
+        assert!(doc.get("schema").is_some());
+    }
+    // A recorder with nothing at all.
+    let blank = MetricsRecorder::new().snapshot_json(&[]);
+    validate_json(&blank).unwrap();
+    parse_json(&blank).unwrap();
+}
+
+#[test]
+fn deeply_nested_documents_validate_and_parse() {
+    // 64 levels of arrays wrapping one analysis-like object.
+    let core = r#"{"schema": "superoffload.analysis/v1", "makespan_us": 1}"#;
+    let deep = format!("{}{}{}", "[".repeat(64), core, "]".repeat(64));
+    validate_json(&deep).unwrap();
+    let mut v = &parse_json(&deep).unwrap();
+    let mut depth = 0;
+    while let JsonValue::Arr(items) = v {
+        assert_eq!(items.len(), 1);
+        v = &items[0];
+        depth += 1;
+    }
+    assert_eq!(depth, 64);
+    assert_eq!(
+        v.get("schema").and_then(JsonValue::as_str),
+        Some("superoffload.analysis/v1")
+    );
+
+    // Unbalanced nesting must be rejected by both layers, identically.
+    let broken = format!("{}{}{}", "[".repeat(5), core, "]".repeat(4));
+    assert!(validate_json(&broken).is_err());
+    assert!(parse_json(&broken).is_err());
+}
+
+/// Arbitrary unicode strings (controls, quotes, surrogate-range code points
+/// folded to U+FFFD, astral plane) — the vendored proptest has no regex
+/// strategies, so build from raw code points.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x2_0000, 0..40).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+/// ASCII byte soup heavy in JSON punctuation, for grammar fuzzing.
+fn arb_noise() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..128, 0..80)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+proptest! {
+    /// Any string, however hostile, survives a meta-field round trip
+    /// through an analysis snapshot.
+    #[test]
+    fn arbitrary_meta_strings_round_trip(s in arb_string()) {
+        let trace = {
+            let mut sim = Simulator::new();
+            let r = sim.add_resource("r");
+            sim.add_task(TaskSpec::compute(r, SimTime::from_millis(1.0))).unwrap();
+            sim.run().unwrap()
+        };
+        let json = analyze(&trace).to_json(&[("blob", s.clone())]);
+        prop_assert!(validate_json(&json).is_ok(), "invalid for {s:?}");
+        let doc = parse_json(&json).unwrap();
+        let got = doc.get("meta").and_then(|m| m.get("blob")).and_then(JsonValue::as_str);
+        prop_assert_eq!(got, Some(s.as_str()));
+    }
+
+    /// parse_json and validate_json agree on arbitrary byte soup.
+    #[test]
+    fn parser_and_validator_agree_on_noise(s in arb_noise()) {
+        prop_assert_eq!(parse_json(&s).is_ok(), validate_json(&s).is_ok(), "disagree on {:?}", &s);
+    }
+}

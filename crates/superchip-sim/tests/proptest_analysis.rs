@@ -1,0 +1,150 @@
+//! Property-based tests of the critical-path / stall-attribution analyzer.
+//!
+//! Random DAGs of mixed task kinds (compute, transfer, sync gates), tags,
+//! and release times are scheduled and analyzed, and the analyzer's core
+//! contracts are checked on every sample:
+//!
+//! * critical-path length never exceeds the makespan;
+//! * critical-path length is at least every resource's busy time (resource
+//!   serialization is itself a path);
+//! * stall-class sums partition each resource's recorded idle bit-exactly;
+//! * every task on the critical path has zero slack;
+//! * the versioned JSON snapshot is valid and deterministic.
+
+use proptest::prelude::*;
+use superchip_sim::prelude::*;
+use superchip_sim::telemetry::validate_json;
+
+/// One random task: `(resource, kind 0..4, duration ms, tag 0..3, deps,
+/// release ms)`. Dependencies are filtered to earlier indices after the
+/// fact, guaranteeing acyclicity.
+type ArbTask = (usize, u8, f64, u8, Vec<usize>, f64);
+
+fn arb_dag(max_tasks: usize, resources: usize) -> impl Strategy<Value = Vec<ArbTask>> {
+    prop::collection::vec(
+        (
+            0..resources,
+            0u8..4,
+            0.0f64..8.0,
+            0u8..3,
+            prop::collection::vec(0usize..max_tasks.max(1), 0..4),
+            0.0f64..5.0,
+        ),
+        1..max_tasks,
+    )
+    .prop_map(|tasks| {
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (res, kind, dur, tag, deps, rel))| {
+                let deps: Vec<usize> = deps.into_iter().filter(|&d| d < i).collect();
+                (res, kind, dur, tag, deps, rel)
+            })
+            .collect()
+    })
+}
+
+fn build_and_run(dag: &[ArbTask], resources: usize) -> Trace {
+    let mut sim = Simulator::new();
+    let rids: Vec<_> = (0..resources)
+        .map(|i| sim.add_resource(format!("r{i}")))
+        .collect();
+    let mut ids = Vec::new();
+    for (res, kind, dur, tag, deps, rel) in dag {
+        let rid = rids[*res];
+        let dur = SimTime::from_millis(*dur);
+        let mut spec = match kind {
+            0 => TaskSpec::compute(rid, dur),
+            1 => TaskSpec::transfer(rid, dur),
+            2 => TaskSpec::collective(rid, dur),
+            _ => TaskSpec::sync(rid),
+        };
+        spec = match tag {
+            0 => spec,
+            1 => spec.tagged(TaskTag::OptimizerStep),
+            _ => spec.tagged(TaskTag::Eviction),
+        };
+        spec = spec.not_before(SimTime::from_millis(*rel));
+        for &d in deps {
+            spec = spec.after(ids[d]);
+        }
+        ids.push(sim.add_task(spec).unwrap());
+    }
+    sim.run().unwrap()
+}
+
+proptest! {
+    /// The critical path is sandwiched between the longest per-resource
+    /// busy time and the makespan, in exact integer microseconds.
+    #[test]
+    fn critical_path_is_bounded(dag in arb_dag(40, 4)) {
+        let trace = build_and_run(&dag, 4);
+        let report = analyze(&trace);
+        prop_assert!(report.cp_len_us <= report.makespan_us,
+            "cp {} > makespan {}", report.cp_len_us, report.makespan_us);
+        for stalls in &report.stalls {
+            prop_assert!(report.cp_len_us >= stalls.busy_us,
+                "cp {} < busy {} on {}", report.cp_len_us, stalls.busy_us, stalls.name);
+        }
+    }
+
+    /// Stall attribution partitions each resource's recorded idle exactly:
+    /// the five class buckets sum to `idle_us`, which matches the trace's
+    /// own busy/idle ledger.
+    #[test]
+    fn stall_classes_partition_idle(dag in arb_dag(40, 4)) {
+        let trace = build_and_run(&dag, 4);
+        let report = analyze(&trace);
+        let mut total = 0u64;
+        for (ridx, stalls) in report.stalls.iter().enumerate() {
+            let sum: u64 = stalls.by_class.iter().sum();
+            prop_assert_eq!(sum, stalls.idle_us, "class sum mismatch on {}", &stalls.name);
+            let rid = ResourceId::from_index(ridx);
+            prop_assert_eq!(stalls.idle_us, trace.idle_us(rid), "ledger mismatch on {}", &stalls.name);
+            prop_assert_eq!(stalls.busy_us, trace.busy_us(rid));
+            total += sum;
+        }
+        prop_assert_eq!(total, report.total_idle_us());
+    }
+
+    /// Every task the analyzer places on the critical path has zero slack,
+    /// and the path's step durations sum to the critical-path length.
+    #[test]
+    fn critical_path_tasks_have_zero_slack(dag in arb_dag(30, 3)) {
+        let trace = build_and_run(&dag, 3);
+        let report = analyze(&trace);
+        let mut step_sum = 0u64;
+        for step in &report.critical_path {
+            prop_assert_eq!(report.slack_us[step.task.index()], 0,
+                "critical step {:?} has nonzero slack", &step.label);
+            step_sum += step.dur_us;
+        }
+        prop_assert_eq!(step_sum, report.cp_len_us);
+    }
+
+    /// The analysis snapshot is valid JSON and byte-identical across
+    /// repeated runs of the same DAG.
+    #[test]
+    fn snapshot_is_valid_and_deterministic(dag in arb_dag(25, 3)) {
+        let t1 = build_and_run(&dag, 3);
+        let t2 = build_and_run(&dag, 3);
+        let j1 = analyze(&t1).to_json(&[("system", "proptest".to_string())]);
+        let j2 = analyze(&t2).to_json(&[("system", "proptest".to_string())]);
+        prop_assert!(validate_json(&j1).is_ok(), "invalid snapshot: {}", &j1);
+        prop_assert_eq!(j1, j2);
+    }
+
+    /// What-if bounds are sane: halving one resource can never make the run
+    /// slower, and the speedup bound is at least 1 for the top bottleneck.
+    #[test]
+    fn bottleneck_headroom_is_sane(dag in arb_dag(30, 3)) {
+        let trace = build_and_run(&dag, 3);
+        let report = analyze(&trace);
+        for b in &report.bottlenecks {
+            prop_assert!(b.speedup_bound >= 1.0 - 1e-9,
+                "negative headroom {} on {}", b.speedup_bound, &b.resource);
+            prop_assert!(b.critical_path_us <= report.cp_len_us);
+            prop_assert!(b.cp_share >= 0.0 && b.cp_share <= 1.0 + 1e-9);
+        }
+    }
+}

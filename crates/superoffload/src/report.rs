@@ -4,6 +4,7 @@
 use std::fmt;
 
 use llm_model::workload::ExecutionPlan;
+use superchip_sim::analysis::{analyze, AnalysisReport};
 use superchip_sim::chrome_trace::to_chrome_trace_with_counters;
 use superchip_sim::telemetry::MetricsRecorder;
 use superchip_sim::{SimTime, TaskKind, Trace};
@@ -159,6 +160,22 @@ impl RunProfile {
             .map(String::as_str)
             .collect();
         to_chrome_trace_with_counters(&self.trace, &names, &self.metrics)
+    }
+
+    /// Runs the critical-path / stall-attribution analyzer over this run's
+    /// trace (see [`superchip_sim::analysis`]).
+    pub fn analyze(&self) -> AnalysisReport {
+        analyze(&self.trace)
+    }
+
+    /// The versioned `superoffload.analysis/v1` JSON snapshot of
+    /// [`RunProfile::analyze`], stamped with this run's system name and
+    /// feasibility. Deterministic: simulated time only, never wall-clock.
+    pub fn analysis_json(&self) -> String {
+        self.analyze().to_json(&[
+            ("system", self.report.system.clone()),
+            ("feasible", self.report.feasible().to_string()),
+        ])
     }
 
     /// The versioned, deterministic metrics snapshot of this run: the

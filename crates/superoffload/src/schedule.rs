@@ -314,6 +314,7 @@ fn simulate_fixed(
                         chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
                     )
                     .with_label("weight-fetch-fwd")
+                    .tagged(TaskTag::Eviction)
                     .after_all(fwd_dep.iter().copied()),
                 )?;
                 ctx.track_transfer(fetch, &chip.c2c, stream_bytes_per_pass);
@@ -331,6 +332,7 @@ fn simulate_fixed(
                         chip.c2c.transfer_time(stream_bytes_per_pass) + overhead,
                     )
                     .with_label("weight-fetch-bwd")
+                    .tagged(TaskTag::Eviction)
                     .after(fwd),
                 )?;
                 ctx.track_transfer(fetch, &chip.c2c, stream_bytes_per_pass);
@@ -446,6 +448,7 @@ fn simulate_fixed(
                 let mut spec =
                     TaskSpec::compute(ctx.gpu, gpu_optimizer_time(&chip.gpu, elems) + overhead)
                         .with_label(format!("step-gpu[{bi}]"))
+                        .tagged(TaskTag::OptimizerStep)
                         .after(arrival);
                 if let Some(ns) = norm_sync {
                     spec = spec.after(ns);
@@ -458,6 +461,7 @@ fn simulate_fixed(
                     + cast.fused_optimizer_overhead(chip, elems);
                 let mut spec = TaskSpec::compute(ctx.cpu, step_time + overhead)
                     .with_label(format!("step-cpu[{bi}]"))
+                    .tagged(TaskTag::OptimizerStep)
                     .after(arrival);
                 if let Some(ns) = norm_sync {
                     spec = spec.after(ns);

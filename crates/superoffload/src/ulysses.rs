@@ -146,6 +146,7 @@ pub fn simulate_ulysses_traced(
             let fetch = ctx.sim.add_task(
                 TaskSpec::transfer(ctx.h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
                     .with_label("weight-fetch-fwd")
+                    .tagged(TaskTag::Eviction)
                     .after_all(deps.iter().copied()),
             )?;
             fwd_deps.push(fetch);
@@ -177,6 +178,7 @@ pub fn simulate_ulysses_traced(
             let fetch = ctx.sim.add_task(
                 TaskSpec::transfer(ctx.h2d, chip.c2c.transfer_time(stream_bytes) + overhead)
                     .with_label("weight-fetch-bwd")
+                    .tagged(TaskTag::Eviction)
                     .after_all(bwd_deps.iter().copied()),
             )?;
             bwd_deps.push(fetch);
@@ -218,6 +220,7 @@ pub fn simulate_ulysses_traced(
                         crate::costs::gpu_optimizer_time(&chip.gpu, shard) + overhead,
                     )
                     .with_label("step-gpu")
+                    .tagged(TaskTag::OptimizerStep)
                     .after(rs),
                 )?
             }
@@ -236,6 +239,7 @@ pub fn simulate_ulysses_traced(
                         pipeline_step_time(OptimizerImpl::GraceAdam, &chip.cpu, shard) + overhead,
                     )
                     .with_label("step-cpu")
+                    .tagged(TaskTag::OptimizerStep)
                     .after(out),
                 )?;
                 ctx.sim.add_task(

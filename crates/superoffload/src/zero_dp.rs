@@ -249,6 +249,7 @@ pub fn simulate_cluster_traced(
                     gpu_optimizer_time(&chip.gpu, step_elems) + overhead,
                 )
                 .with_label(format!("step-gpu[{bi}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after(arrival);
                 if let Some(ns) = norm_sync {
                     spec = spec.after(ns);
@@ -262,6 +263,7 @@ pub fn simulate_cluster_traced(
                         + overhead,
                 )
                 .with_label(format!("step-cpu[{bi}]"))
+                .tagged(TaskTag::OptimizerStep)
                 .after(arrival);
                 if let Some(ns) = norm_sync {
                     spec = spec.after(ns);
