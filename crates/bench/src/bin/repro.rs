@@ -6,9 +6,11 @@
 //! cargo run --release -p superoffload-bench --bin repro -- profile superoffload
 //! cargo run --release -p superoffload-bench --bin repro -- analyze superoffload
 //! cargo run --release -p superoffload-bench --bin repro -- compare base.json cur.json
+//! cargo run --release -p superoffload-bench --bin repro -- journal --steps 24 --seed 42
+//! cargo run --release -p superoffload-bench --bin repro -- realbench --steps 8
 //! ```
 
-use superoffload_bench::{analyze, compare, experiments, profile, realbench};
+use superoffload_bench::{analyze, compare, experiments, journal, profile, realbench};
 
 const EXPERIMENTS: &[(&str, fn())] = &[
     ("table1", experiments::print_table1),
@@ -43,7 +45,9 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro <experiment>... | all | profile <system> | analyze <system> \
-             | compare <baseline.json> <current.json> [--tolerance frac]"
+             | compare <baseline.json> <current.json> [--tolerance frac] \
+             | journal [--steps N] [--seed N] [--peak-flops F] \
+             | realbench [--steps N] [--seed N]"
         );
         eprintln!(
             "experiments: {} all",
@@ -60,7 +64,51 @@ fn main() {
              (default {})",
             compare::DEFAULT_TOLERANCE
         );
+        eprintln!(
+            "journal: real journaled training run -> journal.jsonl + timing sidecar \
+             + HTML dashboard (defaults: --steps {} --seed {})",
+            journal::DEFAULT_STEPS,
+            journal::DEFAULT_SEED
+        );
+        eprintln!(
+            "realbench: real-plane measurement (defaults: --steps {} --seed {})",
+            realbench::REALPLANE_STEPS,
+            realbench::REALPLANE_SEED
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+
+    // `journal` takes flags, unlike the fn() table.
+    if args[0] == "journal" {
+        if let Err(msg) = journal::run(&args[1..]) {
+            eprintln!("journal failed: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // `realbench` as the leading subcommand accepts `--steps`/`--seed`
+    // overrides (inside an experiment list, e.g. `repro -- all`, it runs
+    // with the defaults).
+    if args[0] == "realbench" && args.len() > 1 {
+        let parse = |name| journal::parse_flag(&args[1..], name, |v| str::parse::<u64>(v).ok());
+        match (parse("steps"), parse("seed")) {
+            (Ok(steps), Ok(seed)) => {
+                if steps == Some(0) {
+                    eprintln!("realbench: --steps must be at least 1");
+                    std::process::exit(2);
+                }
+                realbench::print_realplane_with(
+                    steps.unwrap_or(realbench::REALPLANE_STEPS),
+                    seed.unwrap_or(realbench::REALPLANE_SEED),
+                );
+            }
+            (Err(msg), _) | (_, Err(msg)) => {
+                eprintln!("realbench: {msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
     }
 
     // `profile` takes a system-name argument, unlike the fn() table.

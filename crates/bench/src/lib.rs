@@ -11,5 +11,19 @@
 pub mod analyze;
 pub mod compare;
 pub mod experiments;
+pub mod journal;
 pub mod profile;
 pub mod realbench;
+
+/// Serializes CPU-hungry or timing-sensitive tests within this binary:
+/// the realbench latency-ordering test measures wall time, and the journal
+/// tests run real multi-threaded training loops — running them on the same
+/// cores at once makes the measurement lie.
+#[cfg(test)]
+pub(crate) fn cpu_heavy_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}

@@ -87,11 +87,16 @@ pub fn print_profile(system: &str, profile: &RunProfile) {
     }
 }
 
-/// Entry point for `repro -- profile <system>`: runs, writes, and
-/// summarizes the profile. Returns an error message suitable for the CLI
-/// on failure.
-pub fn run(system: &str) -> Result<(), String> {
-    let profile = profile_system(system).map_err(|e| match e {
+/// Normalizes the user-facing spelling (underscores → hyphens, matching
+/// `repro -- analyze`) and runs the profile, returning the registry name
+/// actually used — so artifacts are always named for the canonical
+/// spelling (`profile_zero-offload.json`, never `profile_zero_offload.json`).
+///
+/// # Errors
+/// A CLI-ready message for unknown systems or infeasible workloads.
+pub fn resolve_and_profile(system: &str) -> Result<(String, RunProfile), String> {
+    let name = crate::analyze::normalize_system_name(system);
+    let profile = profile_system(&name).map_err(|e| match e {
         None => {
             let reg = standard_registry();
             let names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
@@ -100,11 +105,19 @@ pub fn run(system: &str) -> Result<(), String> {
                 names.join(", ")
             )
         }
-        Some(reason) => format!("'{system}' is infeasible on the smoke workload: {reason}"),
+        Some(reason) => format!("'{name}' is infeasible on the smoke workload: {reason}"),
     })?;
-    print_profile(system, &profile);
+    Ok((name, profile))
+}
+
+/// Entry point for `repro -- profile <system>`: runs, writes, and
+/// summarizes the profile. Returns an error message suitable for the CLI
+/// on failure.
+pub fn run(system: &str) -> Result<(), String> {
+    let (name, profile) = resolve_and_profile(system)?;
+    print_profile(&name, &profile);
     let (trace_path, metrics_path) =
-        write_profile(system, &profile).map_err(|e| format!("write failed: {e}"))?;
+        write_profile(&name, &profile).map_err(|e| format!("write failed: {e}"))?;
     println!("  wrote {trace_path} (open in https://ui.perfetto.dev)");
     println!(
         "  wrote {metrics_path} (schema {})",
@@ -139,6 +152,24 @@ mod tests {
         validate_json(&snap).expect("snapshot JSON");
         assert!(snap.contains("\"system\": \"superoffload\""), "{snap}");
         assert!(p.report.peak_bytes("hbm").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn underscore_spellings_normalize_to_registry_names() {
+        // The registry is hyphenated; the raw underscore spelling misses…
+        assert!(matches!(profile_system("zero_offload"), Err(None)));
+        // …but the CLI path normalizes it and names artifacts canonically.
+        let (name, profile) = resolve_and_profile("zero_offload").expect("normalized");
+        assert_eq!(name, "zero-offload");
+        assert!(profile
+            .snapshot_json()
+            .contains("\"system\": \"zero-offload\""));
+        let (trace, metrics) = profile_paths(&name);
+        assert_eq!(trace, "profile_zero-offload.trace.json");
+        assert_eq!(metrics, "profile_zero-offload.json");
+        // Still-unknown names keep reporting the user's own spelling.
+        let msg = resolve_and_profile("no_such_system").unwrap_err();
+        assert!(msg.contains("unknown system 'no_such_system'"), "{msg}");
     }
 
     #[test]

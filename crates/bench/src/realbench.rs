@@ -420,11 +420,12 @@ fn run_training(
     steps: u64,
     batch: usize,
     seq: usize,
+    seed: u64,
 ) -> (Vec<f32>, f64, f64, f64, f64) {
     with_threads(threads, || {
-        let mut model = realplane_model(4242);
+        let mut model = realplane_model(seed);
         let mut state = AdamState::new(model.num_params());
-        let mut pile = SyntheticPile::new(model.config().vocab, 4242);
+        let mut pile = SyntheticPile::new(model.config().vocab, seed);
         let batches: Vec<_> = (0..steps).map(|_| pile.next_batch(batch, seq)).collect();
         let (mut fwd, mut bwd, mut opt) = (0.0, 0.0, 0.0);
         let start = Instant::now();
@@ -440,9 +441,14 @@ fn run_training(
     })
 }
 
+/// Default train-step count for the real-plane measurement.
+pub const REALPLANE_STEPS: u64 = 8;
+/// Default model/data seed for the real-plane measurement.
+pub const REALPLANE_SEED: u64 = 4242;
+
 /// Measures the real numeric plane, serial vs parallel: a `n × n × n`
 /// packed GEMM and a full transformer train step with breakdown.
-pub fn realplane(matmul_n: usize, steps: u64) -> RealPlaneBench {
+pub fn realplane(matmul_n: usize, steps: u64, seed: u64) -> RealPlaneBench {
     let host_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -469,9 +475,9 @@ pub fn realplane(matmul_n: usize, steps: u64) -> RealPlaneBench {
     let matmul_parallel_secs = time_matmul(0);
 
     let (batch, seq) = (4usize, 48usize);
-    let (serial_params, step_serial_secs, _, _, _) = run_training(1, steps, batch, seq);
+    let (serial_params, step_serial_secs, _, _, _) = run_training(1, steps, batch, seq, seed);
     let (parallel_params, step_parallel_secs, forward_secs, backward_secs, optimizer_secs) =
-        run_training(0, steps, batch, seq);
+        run_training(0, steps, batch, seq, seed);
 
     RealPlaneBench {
         host_threads,
@@ -489,11 +495,18 @@ pub fn realplane(matmul_n: usize, steps: u64) -> RealPlaneBench {
     }
 }
 
-/// Runs the real-plane measurement, prints a summary, and writes
+/// Runs the real-plane measurement with the default step count and seed
+/// (the `repro -- all` entry point), prints a summary, and writes
 /// `BENCH_realplane.json` in the working directory.
 pub fn print_realplane() {
-    let bench = realplane(512, 8);
-    println!("# Real numeric plane: serial vs parallel (this host)");
+    print_realplane_with(REALPLANE_STEPS, REALPLANE_SEED);
+}
+
+/// Like [`print_realplane`], but with caller-chosen step count and seed
+/// (`repro -- realbench --steps N --seed N`).
+pub fn print_realplane_with(steps: u64, seed: u64) {
+    let bench = realplane(512, steps, seed);
+    println!("# Real numeric plane: serial vs parallel (this host, {steps} steps, seed {seed})");
     println!(
         "host threads: {} (parallel runs use {})",
         bench.host_threads, bench.parallel_threads
@@ -557,6 +570,7 @@ mod tests {
 
     #[test]
     fn adam_latency_ordering_holds_on_this_host() {
+        let _cpu = crate::cpu_heavy_test_guard();
         // The paper's Table 3 ordering: GraceAdam < CPU-Adam < PT-CPU.
         // Use a size big enough to be memory-bound but quick.
         let row = adam_latency(8_000_000, 2);
@@ -571,6 +585,7 @@ mod tests {
 
     #[test]
     fn fig14_training_converges_with_rollbacks() {
+        let _cpu = crate::cpu_heavy_test_guard();
         let run = fig14_run(120, 7);
         assert!(run.exact_vs_sync, "STV diverged from the reference");
         assert!(

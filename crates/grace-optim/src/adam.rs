@@ -3,6 +3,21 @@
 
 use std::fmt;
 
+use tensorlite::counters;
+use tensorlite::OpKind;
+
+/// FLOPs per parameter for one Adam element update, counted against
+/// [`tensorlite::OpKind::AdamStep`]: the canonical `adam_update_one` does
+/// two moment EMAs (3 + 4), two bias corrections (2), and the update
+/// itself with decoupled weight decay (3).
+pub const ADAM_FLOPS_PER_PARAM: u64 = 12;
+
+/// Reports one optimizer step over `n` parameters to the numeric-plane
+/// accounting core.
+fn record_adam_step(n: usize) {
+    counters::record_op(OpKind::AdamStep, n, n as u64 * ADAM_FLOPS_PER_PARAM);
+}
+
 /// Adam hyper-parameters (decoupled weight decay, as in AdamW).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamConfig {
@@ -158,6 +173,7 @@ impl AdamStepper for NaiveAdam {
         state: &mut AdamState,
     ) {
         check_lengths(params, grads, state, step);
+        record_adam_step(params.len());
         let (inv_bc1, inv_bc2_sqrt) = bias_corrections(cfg, step);
         // Pass 1: first moments.
         for (m, &g) in state.m.iter_mut().zip(grads) {
@@ -196,6 +212,7 @@ impl AdamStepper for CpuAdam {
         state: &mut AdamState,
     ) {
         check_lengths(params, grads, state, step);
+        record_adam_step(params.len());
         let (inv_bc1, inv_bc2_sqrt) = bias_corrections(cfg, step);
         fused_chunk(
             cfg,
@@ -304,32 +321,21 @@ impl AdamStepper for GraceAdam {
         state: &mut AdamState,
     ) {
         check_lengths(params, grads, state, step);
+        record_adam_step(params.len());
         let (inv_bc1, inv_bc2_sqrt) = bias_corrections(cfg, step);
         let n = params.len();
         if n == 0 {
             return;
         }
         let threads = self.threads.min(n.div_ceil(self.tile)).max(1);
-        if threads == 1 {
-            for ((ps, gs), (ms, vs)) in params
-                .chunks_mut(self.tile)
-                .zip(grads.chunks(self.tile))
-                .zip(
-                    state
-                        .m
-                        .chunks_mut(self.tile)
-                        .zip(state.v.chunks_mut(self.tile)),
-                )
-            {
-                fused_chunk(cfg, ps, gs, ms, vs, inv_bc1, inv_bc2_sqrt);
-            }
-            return;
-        }
 
-        // Partition into `threads` contiguous shards, each processed in
-        // cache-sized tiles on the shared numeric-plane pool. Disjoint
-        // shards keep the update embarrassingly parallel and bit-identical
-        // to the serial order.
+        // Partition into `threads` contiguous shards (one covering shard
+        // when serial), each processed in cache-sized tiles on the shared
+        // numeric-plane pool. Disjoint shards keep the update
+        // embarrassingly parallel and bit-identical to the serial order.
+        // Always going through the pool — even serially — keeps the
+        // op-accounting region count at exactly one per step call, so it is
+        // thread-count-invariant (the step journal serializes it).
         let shard = n.div_ceil(threads);
         type Shard<'a> = (&'a mut [f32], &'a [f32], &'a mut [f32], &'a mut [f32]);
         let mut parts: Vec<Shard<'_>> = Vec::with_capacity(threads);

@@ -35,5 +35,5 @@ pub mod rollback;
 pub use adam::{AdamConfig, AdamState, AdamStepper, CpuAdam, GraceAdam, NaiveAdam};
 pub use clip::{clip_factor, global_grad_norm};
 pub use fp16_out::step_with_fp16_out;
-pub use mixed_precision::LossScaler;
+pub use mixed_precision::{LossScaler, ScaleEvent};
 pub use rollback::RollbackGuard;

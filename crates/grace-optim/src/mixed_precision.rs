@@ -6,7 +6,39 @@
 //! scale halved; after a window of clean steps the scale doubles. This is
 //! the behaviour the STV validator (§4.4) must detect and roll back.
 
+use std::fmt;
+
 use tensorlite::cast::has_nonfinite;
+
+/// What one [`LossScaler::update_with`] call did to the scale — the
+/// per-step loss-scale event the training journal records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScaleEvent {
+    /// Clean step, scale unchanged.
+    #[default]
+    Stable,
+    /// Overflow detected: the scale backed off (and the step is skipped).
+    BackedOff,
+    /// The growth interval elapsed: the scale grew.
+    Grew,
+}
+
+impl ScaleEvent {
+    /// Stable kebab-case name used in journal records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleEvent::Stable => "stable",
+            ScaleEvent::BackedOff => "backed-off",
+            ScaleEvent::Grew => "grew",
+        }
+    }
+}
+
+impl fmt::Display for ScaleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Dynamic loss scaler with the standard grow/backoff policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,18 +123,23 @@ impl LossScaler {
     }
 
     /// Updates the scale from an externally detected overflow flag (used by
-    /// the STV validator, which scans gradients on another thread).
-    pub fn update_with(&mut self, overflow: bool) {
+    /// the STV validator, which scans gradients on another thread),
+    /// returning what happened to the scale.
+    pub fn update_with(&mut self, overflow: bool) -> ScaleEvent {
         if overflow {
             self.scale *= self.backoff_factor;
             self.scale = self.scale.max(1.0);
             self.good_steps = 0;
             self.overflows += 1;
+            ScaleEvent::BackedOff
         } else {
             self.good_steps += 1;
             if self.good_steps >= self.growth_interval {
                 self.scale *= self.growth_factor;
                 self.good_steps = 0;
+                ScaleEvent::Grew
+            } else {
+                ScaleEvent::Stable
             }
         }
     }
@@ -167,8 +204,22 @@ mod tests {
         let mut a = LossScaler::new(64.0);
         let mut b = LossScaler::new(64.0);
         a.update(&[f32::NAN]);
-        b.update_with(true);
+        assert_eq!(b.update_with(true), ScaleEvent::BackedOff);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_reports_scale_events() {
+        let mut s = LossScaler::new(8.0);
+        for _ in 0..1999 {
+            assert_eq!(s.update_with(false), ScaleEvent::Stable);
+        }
+        assert_eq!(s.update_with(false), ScaleEvent::Grew);
+        assert_eq!(s.scale(), 16.0);
+        assert_eq!(s.update_with(true), ScaleEvent::BackedOff);
+        assert_eq!(s.scale(), 8.0);
+        assert_eq!(ScaleEvent::Grew.to_string(), "grew");
+        assert_eq!(ScaleEvent::default(), ScaleEvent::Stable);
     }
 
     #[test]

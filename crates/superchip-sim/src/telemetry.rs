@@ -688,24 +688,32 @@ impl JsonParser<'_> {
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
                             self.i += 1;
-                            let hi = self.hex4()?;
+                            let mut hi = self.hex4()?;
                             // Combine a surrogate pair if one follows;
-                            // anything unpaired decodes to U+FFFD.
-                            let c = if (0xD800..0xDC00).contains(&hi) {
-                                if self.b[self.i..].starts_with(b"\\u") {
-                                    self.i += 2;
-                                    let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((hi - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
-                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
-                                } else {
-                                    '\u{FFFD}'
+                            // anything unpaired decodes to U+FFFD. A high
+                            // surrogate whose following \u escape is NOT a
+                            // low surrogate is itself unpaired — the second
+                            // escape then stands alone (and may open a new
+                            // pair of its own).
+                            loop {
+                                if !(0xD800..0xDC00).contains(&hi) {
+                                    out.push(char::from_u32(hi).unwrap_or('\u{FFFD}'));
+                                    break;
                                 }
-                            } else {
-                                char::from_u32(hi).unwrap_or('\u{FFFD}')
-                            };
-                            out.push(c);
+                                if !self.b[self.i..].starts_with(b"\\u") {
+                                    out.push('\u{FFFD}');
+                                    break;
+                                }
+                                self.i += 2;
+                                let lo = self.hex4()?;
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    let combined = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(combined).unwrap_or('\u{FFFD}'));
+                                    break;
+                                }
+                                out.push('\u{FFFD}');
+                                hi = lo;
+                            }
                             continue;
                         }
                         other => {
@@ -891,6 +899,64 @@ mod tests {
         let v = parse_json(r#""Aé😀\ud800""#).unwrap();
         // BMP char, accented char, surrogate pair, unpaired surrogate.
         assert_eq!(v.as_str(), Some("Aé😀\u{FFFD}"));
+    }
+
+    #[test]
+    fn parse_json_handles_adversarial_surrogates() {
+        // An escaped pair combines to the real scalar.
+        assert_eq!(
+            parse_json(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("😀")
+        );
+        // High surrogate + a \u escape that is NOT a low surrogate: the
+        // high half alone becomes U+FFFD; the second escape stands alone
+        // (before the fix this combined into a garbage scalar).
+        assert_eq!(
+            parse_json(r#""\ud800\u0041""#).unwrap().as_str(),
+            Some("\u{FFFD}A")
+        );
+        // Two escaped high surrogates then a low one: the first is
+        // unpaired, the second opens the pair.
+        assert_eq!(
+            parse_json(r#""\ud83d\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{FFFD}😀")
+        );
+        // Lone low surrogate, escaped pair of high surrogates at EOS.
+        assert_eq!(
+            parse_json(r#""\udc00""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
+        assert_eq!(
+            parse_json(r#""\ud800\ud800""#).unwrap().as_str(),
+            Some("\u{FFFD}\u{FFFD}")
+        );
+        // High surrogate followed by a non-\u escape or literal text.
+        assert_eq!(
+            parse_json(r#""\ud800\n""#).unwrap().as_str(),
+            Some("\u{FFFD}\n")
+        );
+        assert_eq!(
+            parse_json(r#""\ud800x""#).unwrap().as_str(),
+            Some("\u{FFFD}x")
+        );
+        // Truncated \u escapes still error rather than panic.
+        assert!(parse_json(r#""\ud800\u00""#).is_err());
+        assert!(parse_json(r#""\uzzzz""#).is_err());
+    }
+
+    #[test]
+    fn strings_round_trip_through_escape_and_parse() {
+        for s in [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "ctl \u{1} \u{8} \u{c} \n\r\t",
+            "unicode é 😀 \u{FFFD} \u{10FFFF}",
+            "", // empty
+        ] {
+            let quoted = format!("\"{}\"", escape_json(s));
+            validate_json(&quoted).unwrap();
+            assert_eq!(parse_json(&quoted).unwrap().as_str(), Some(s), "{s:?}");
+        }
     }
 
     #[test]

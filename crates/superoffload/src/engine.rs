@@ -17,7 +17,7 @@
 use crossbeam::channel;
 use grace_optim::adam::{AdamConfig, AdamState, AdamStepper, GraceAdam};
 use grace_optim::clip::{apply_clip, clip_factor};
-use grace_optim::mixed_precision::LossScaler;
+use grace_optim::mixed_precision::{LossScaler, ScaleEvent};
 use grace_optim::rollback::RollbackGuard;
 use llm_model::transformer::GptModel;
 use tensorlite::cast::{
@@ -258,6 +258,7 @@ pub struct SyncEngine {
     step: u64,
     stats: StvStats,
     spans: EngineSpans,
+    last_scale_event: ScaleEvent,
 }
 
 impl SyncEngine {
@@ -272,7 +273,18 @@ impl SyncEngine {
             step: 0,
             stats: StvStats::default(),
             spans: EngineSpans::default(),
+            last_scale_event: ScaleEvent::default(),
         }
+    }
+
+    /// The current dynamic loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// What the most recent step did to the loss scale.
+    pub fn last_scale_event(&self) -> ScaleEvent {
+        self.last_scale_event
     }
 
     /// The wrapped model.
@@ -338,11 +350,11 @@ impl SyncEngine {
             self.spans.validate.record(validate_from);
             // Nothing was speculated, so the "rollback" is purely logical.
             self.spans.rollback.bump();
-            self.scaler.update_with(true);
+            self.last_scale_event = self.scaler.update_with(true);
             self.stats.skipped += 1;
             return Ok(StepOutcome::Skipped { loss });
         }
-        self.scaler.update_with(false);
+        self.last_scale_event = self.scaler.update_with(false);
 
         // Unscale, then global norm over the same bucket partials STV uses.
         let inv = 1.0 / scale;
@@ -396,6 +408,7 @@ pub struct StvEngine {
     step: u64,
     stats: StvStats,
     spans: EngineSpans,
+    last_scale_event: ScaleEvent,
 }
 
 /// Per-bucket validation result produced by the validator thread.
@@ -418,7 +431,18 @@ impl StvEngine {
             step: 0,
             stats: StvStats::default(),
             spans: EngineSpans::default(),
+            last_scale_event: ScaleEvent::default(),
         }
+    }
+
+    /// The current dynamic loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// What the most recent step did to the loss scale.
+    pub fn last_scale_event(&self) -> ScaleEvent {
+        self.last_scale_event
     }
 
     /// The wrapped model.
@@ -584,11 +608,11 @@ impl StvEngine {
                 g.restore(self.model.params_mut(), &mut self.state);
             }
             self.spans.rollback.record(rollback_from);
-            self.scaler.update_with(true);
+            self.last_scale_event = self.scaler.update_with(true);
             self.stats.skipped += 1;
             return Ok(StepOutcome::Skipped { loss });
         }
-        self.scaler.update_with(false);
+        self.last_scale_event = self.scaler.update_with(false);
 
         let factor = clip_factor(norm, self.cfg.max_grad_norm);
         if factor < 1.0 {

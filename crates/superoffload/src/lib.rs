@@ -57,4 +57,7 @@ pub use policy::WeightPolicy;
 pub use report::{RunProfile, TrainReport};
 pub use schedule::{simulate_single_chip, simulate_single_chip_profiled, SuperOffloadOptions};
 pub use system::{Infeasible, OffloadSystem, SuperOffload, SystemRegistry};
-pub use trainer::{Discipline, Trainer};
+pub use trainer::{
+    Discipline, JournalConfig, JournalSummary, StepJournal, StepRecord, StepTiming, Trainer,
+    JOURNAL_SCHEMA,
+};

@@ -10,6 +10,7 @@ use superchip_sim::telemetry::MetricsRecorder;
 use superchip_sim::{SimTime, TaskKind, Trace};
 
 use crate::engine::StvStats;
+use crate::trainer::{JournalSummary, StepJournal};
 
 /// Outcome of simulating a training system on a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +105,11 @@ pub struct RunProfile {
     pub trace: Trace,
     /// Telemetry recorded during (or derived from) the run.
     pub metrics: MetricsRecorder,
+    /// Numeric-plane step-journal aggregate, when a real training run was
+    /// journaled alongside the simulation (attach via
+    /// [`RunProfile::attach_journal`]). Joins the two planes in one
+    /// snapshot.
+    pub journal: Option<JournalSummary>,
 }
 
 impl RunProfile {
@@ -147,7 +153,16 @@ impl RunProfile {
             report,
             trace,
             metrics,
+            journal: None,
         }
+    }
+
+    /// Attaches a numeric-plane step journal's deterministic aggregate and
+    /// per-step loss/grad-norm tracks to this profile, so
+    /// [`RunProfile::snapshot_json`] carries both planes.
+    pub fn attach_journal(&mut self, journal: &StepJournal) {
+        self.journal = Some(journal.summary());
+        journal.record_into(&mut self.metrics);
     }
 
     /// The Perfetto-loadable Chrome trace of this run: `"ph":"X"` slices for

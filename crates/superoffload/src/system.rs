@@ -681,6 +681,7 @@ impl ScheduleCtx {
             report,
             trace,
             metrics,
+            journal: None,
         })
     }
 }

@@ -16,14 +16,22 @@
 //! synchronous engine on request), records the loss history and rollback
 //! events, and supports periodic bit-exact checkpointing.
 
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use grace_optim::ScaleEvent;
 use llm_model::transformer::GptModel;
-use tensorlite::{ParallelConfig, TensorError};
+use superchip_sim::telemetry::MetricsRecorder;
+use tensorlite::{counters, CounterSnapshot, OpKind, ParallelConfig, TensorError};
 
 use crate::checkpoint::Checkpoint;
 use crate::engine::{
     EngineConfig, EngineSpans, Precision, Sample, StepOutcome, StvEngine, StvStats, SyncEngine,
 };
 use crate::report::TrainReport;
+
+/// Schema identifier for step-journal JSONL records and snapshots.
+pub const JOURNAL_SCHEMA: &str = "superoffload.journal/v1";
 
 /// Which execution discipline drives the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +43,350 @@ pub enum Discipline {
     Sync,
 }
 
+/// Configuration for the step journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalConfig {
+    /// Assumed accelerator peak FLOP/s for *measured* MFU
+    /// (`counted FLOPs / (wall-secs · peak_flops)`). The default, 1 TFLOP/s,
+    /// is deliberately modest — the numeric plane is a miniature CPU stack,
+    /// and MFU must land in `(0, 1]` for the sanity gate.
+    pub peak_flops: f64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig { peak_flops: 1e12 }
+    }
+}
+
+/// One step's deterministic journal record. Every field is a pure function
+/// of the model, seed, and batch sequence — byte-identical across reruns
+/// and worker-thread counts (the serializer omits the two
+/// thread-count-dependent counter fields; see `tensorlite::counters`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// 1-based step index.
+    pub step: u64,
+    /// `"applied"`, `"clipped"`, or `"skipped"` (matching [`StepOutcome`]).
+    pub outcome: &'static str,
+    /// Mean loss over the batch (may be non-finite on skipped steps).
+    pub loss: f32,
+    /// Global gradient norm before clipping; `None` on skipped steps.
+    pub grad_norm: Option<f64>,
+    /// Loss scale *after* this step's update.
+    pub loss_scale: f32,
+    /// What the dynamic loss scaler did this step.
+    pub scale_event: ScaleEvent,
+    /// Input tokens consumed by this step.
+    pub tokens: u64,
+    /// Op-counter delta across this step (calls/elems/FLOPs per kind,
+    /// bytes allocated/freed, live-byte change, pool regions).
+    pub counters: CounterSnapshot,
+}
+
+/// One step's wall-clock sidecar. Diagnostic only: these values never enter
+/// the deterministic JSONL or versioned snapshots (repo invariant since the
+/// telemetry layer: wall-clock stays out of byte-stable artifacts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTiming {
+    /// 1-based step index (joins with [`StepRecord::step`]).
+    pub step: u64,
+    /// End-to-end wall time of the step.
+    pub wall_secs: f64,
+    /// Wall time inside the speculate phase.
+    pub speculate_secs: f64,
+    /// Wall time inside the validate phase.
+    pub validate_secs: f64,
+    /// Wall time inside rollback re-execution.
+    pub rollback_secs: f64,
+    /// Wall time inside a standalone optimizer step. Under the STV
+    /// discipline this is nonzero only on clip re-execution: an applied
+    /// speculative step hides the optimizer inside `speculate_secs`,
+    /// which is exactly the overlap the paper's STV design buys.
+    pub optimizer_secs: f64,
+    /// Measured throughput: `tokens / wall_secs`.
+    pub tokens_per_sec: f64,
+    /// Measured MFU: counted FLOPs over `wall_secs ·`
+    /// [`JournalConfig::peak_flops`].
+    pub mfu: f64,
+}
+
+/// Deterministic aggregate of a journal, folded into
+/// [`crate::report::RunProfile`] snapshots to join the numeric plane with
+/// the simulator plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalSummary {
+    /// Steps recorded.
+    pub steps: u64,
+    /// Steps whose update was committed unchanged.
+    pub applied: u64,
+    /// Steps rolled back and re-executed with clipped gradients.
+    pub clipped: u64,
+    /// Steps skipped on overflow.
+    pub skipped: u64,
+    /// Loss-scale backoff events.
+    pub scale_backoffs: u64,
+    /// Loss-scale growth events.
+    pub scale_growths: u64,
+    /// Total input tokens consumed.
+    pub tokens: u64,
+    /// Total counted FLOPs.
+    pub flops: u64,
+    /// Total bytes that became tensor storage.
+    pub allocated_bytes: u64,
+    /// Total bytes of tensor storage released.
+    pub freed_bytes: u64,
+    /// Total pool kernel regions entered.
+    pub pool_regions: u64,
+}
+
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl StepRecord {
+    /// Serializes this record as one JSONL line (no trailing newline).
+    /// Deterministic: only thread-count-invariant counter fields appear
+    /// (`peak_bytes` and `pool_parallel_regions` are deliberately omitted),
+    /// non-finite floats become `null`, and op kinds with zero calls are
+    /// skipped.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"step\":{},\"outcome\":\"{}\",\"loss\":{},\"grad-norm\":{},\
+             \"loss-scale\":{},\"scale-event\":\"{}\",\"tokens\":{},\
+             \"flops\":{},\"alloc-bytes\":{},\"freed-bytes\":{},\
+             \"live-bytes\":{},\"pool-regions\":{},\"ops\":{{",
+            self.step,
+            self.outcome,
+            json_f32(self.loss),
+            self.grad_norm.map_or("null".to_string(), json_f64),
+            json_f32(self.loss_scale),
+            self.scale_event.name(),
+            self.tokens,
+            self.counters.total_flops(),
+            self.counters.allocated_bytes,
+            self.counters.freed_bytes,
+            self.counters.live_bytes,
+            self.counters.pool_regions,
+        );
+        let mut first = true;
+        for kind in OpKind::ALL {
+            if self.counters.calls(kind) == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\"{}\":[{},{},{}]",
+                kind.name(),
+                self.counters.calls(kind),
+                self.counters.elems(kind),
+                self.counters.flops(kind),
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Per-step training journal: one deterministic [`StepRecord`] plus one
+/// wall-clock [`StepTiming`] per optimizer step. Enabled via
+/// [`TrainerBuilder::journal`]; rendered by `repro -- journal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepJournal {
+    cfg: JournalConfig,
+    records: Vec<StepRecord>,
+    timings: Vec<StepTiming>,
+}
+
+impl StepJournal {
+    /// Creates an empty journal.
+    pub fn new(cfg: JournalConfig) -> Self {
+        StepJournal {
+            cfg,
+            records: Vec::new(),
+            timings: Vec::new(),
+        }
+    }
+
+    /// The configuration this journal measures MFU against.
+    pub fn config(&self) -> JournalConfig {
+        self.cfg
+    }
+
+    /// Deterministic per-step records.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Wall-clock per-step sidecar, index-aligned with
+    /// [`StepJournal::records`].
+    pub fn timings(&self) -> &[StepTiming] {
+        &self.timings
+    }
+
+    /// Serializes the journal as JSONL: a schema header line followed by
+    /// one [`StepRecord`] line per step. Byte-identical across reruns and
+    /// worker-thread counts.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"{JOURNAL_SCHEMA}\",\"steps\":{},\"peak-flops\":{}}}",
+            self.records.len(),
+            json_f64(self.cfg.peak_flops),
+        );
+        for r in &self.records {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the wall-clock sidecar as a single JSON object. Explicitly
+    /// *not* deterministic — it exists for dashboards and diagnosis, and is
+    /// never compared byte-for-byte.
+    pub fn timing_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{JOURNAL_SCHEMA}\",\"section\":\"timing\",\
+             \"note\":\"wall-clock diagnostic; not byte-stable\",\"steps\":[",
+        );
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"step\":{},\"wall-secs\":{},\"speculate-secs\":{},\
+                 \"validate-secs\":{},\"rollback-secs\":{},\
+                 \"optimizer-secs\":{},\"tokens-per-sec\":{},\"mfu\":{}}}",
+                t.step,
+                json_f64(t.wall_secs),
+                json_f64(t.speculate_secs),
+                json_f64(t.validate_secs),
+                json_f64(t.rollback_secs),
+                json_f64(t.optimizer_secs),
+                json_f64(t.tokens_per_sec),
+                json_f64(t.mfu),
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Deterministic aggregate over all records.
+    pub fn summary(&self) -> JournalSummary {
+        let mut s = JournalSummary::default();
+        for r in &self.records {
+            s.steps += 1;
+            match r.outcome {
+                "applied" => s.applied += 1,
+                "clipped" => s.clipped += 1,
+                _ => s.skipped += 1,
+            }
+            match r.scale_event {
+                ScaleEvent::BackedOff => s.scale_backoffs += 1,
+                ScaleEvent::Grew => s.scale_growths += 1,
+                ScaleEvent::Stable => {}
+            }
+            s.tokens += r.tokens;
+            s.flops += r.counters.total_flops();
+            s.allocated_bytes += r.counters.allocated_bytes;
+            s.freed_bytes += r.counters.freed_bytes;
+            s.pool_regions += r.counters.pool_regions;
+        }
+        s
+    }
+
+    /// Mean measured MFU across steps (total FLOPs over total wall time).
+    pub fn mean_mfu(&self) -> f64 {
+        let wall: f64 = self.timings.iter().map(|t| t.wall_secs).sum();
+        if wall > 0.0 {
+            self.summary().flops as f64 / (wall * self.cfg.peak_flops)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean measured throughput in tokens/sec.
+    pub fn mean_tokens_per_sec(&self) -> f64 {
+        let wall: f64 = self.timings.iter().map(|t| t.wall_secs).sum();
+        if wall > 0.0 {
+            self.summary().tokens as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds the journal's deterministic aggregates into a telemetry
+    /// recorder: `journal.*` counters, final-state gauges, and per-step
+    /// loss / grad-norm tracks keyed by step index.
+    pub fn record_into(&self, rec: &mut MetricsRecorder) {
+        let s = self.summary();
+        rec.add("journal.steps", s.steps);
+        rec.add("journal.applied", s.applied);
+        rec.add("journal.clipped", s.clipped);
+        rec.add("journal.skipped", s.skipped);
+        rec.add("journal.scale-backoffs", s.scale_backoffs);
+        rec.add("journal.scale-growths", s.scale_growths);
+        rec.add("journal.tokens", s.tokens);
+        rec.add("journal.flops", s.flops);
+        rec.add("journal.alloc-bytes", s.allocated_bytes);
+        rec.add("journal.freed-bytes", s.freed_bytes);
+        rec.add("journal.pool-regions", s.pool_regions);
+        for kind in OpKind::ALL {
+            let calls: u64 = self.records.iter().map(|r| r.counters.calls(kind)).sum();
+            if calls == 0 {
+                continue;
+            }
+            let flops: u64 = self.records.iter().map(|r| r.counters.flops(kind)).sum();
+            rec.add(&format!("journal.op.{}.calls", kind.name()), calls);
+            rec.add(&format!("journal.op.{}.flops", kind.name()), flops);
+        }
+        for r in &self.records {
+            rec.sample_us("journal.loss", "nats", r.step, f64::from(r.loss));
+            if let Some(g) = r.grad_norm {
+                rec.sample_us("journal.grad-norm", "l2", r.step, g);
+            }
+        }
+        if let Some(last) = self.records.last() {
+            rec.set_gauge("journal.final-loss", f64::from(last.loss));
+            rec.set_gauge("journal.final-loss-scale", f64::from(last.loss_scale));
+        }
+    }
+
+    /// Serializes the journal as a versioned
+    /// [`superoffload.journal/v1`](JOURNAL_SCHEMA) snapshot via the
+    /// telemetry JSON writer. `meta` entries are appended after the `kind`
+    /// key. Deterministic.
+    pub fn snapshot_json(&self, meta: &[(&str, String)]) -> String {
+        let mut rec = MetricsRecorder::new();
+        self.record_into(&mut rec);
+        let mut m: Vec<(&str, String)> = vec![("kind", JOURNAL_SCHEMA.to_string())];
+        m.extend(meta.iter().map(|(k, v)| (*k, v.clone())));
+        rec.snapshot_json(&m)
+    }
+}
+
 /// Builder for a [`Trainer`] (non-consuming terminal, per Rust API
 /// conventions).
 #[derive(Debug, Clone)]
@@ -44,6 +396,7 @@ pub struct TrainerBuilder {
     discipline: Discipline,
     checkpoint_every: Option<u64>,
     parallel: Option<ParallelConfig>,
+    journal: Option<JournalConfig>,
 }
 
 impl TrainerBuilder {
@@ -106,11 +459,26 @@ impl TrainerBuilder {
         self.parallel(ParallelConfig::with_threads(threads))
     }
 
+    /// Enables the step journal: [`TrainerBuilder::build`] resets and
+    /// enables the process-wide `tensorlite` op counters (like
+    /// [`TrainerBuilder::parallel`], a process-wide effect), and every
+    /// [`Trainer::step`] appends one [`StepRecord`] + [`StepTiming`] pair,
+    /// retrievable via [`Trainer::journal`].
+    pub fn journal(&mut self, cfg: JournalConfig) -> &mut Self {
+        self.journal = Some(cfg);
+        self
+    }
+
     /// Builds the trainer.
     pub fn build(&self) -> Trainer {
         if let Some(parallel) = &self.parallel {
             parallel.install();
         }
+        let journal = self.journal.map(|cfg| {
+            counters::reset();
+            counters::enable();
+            StepJournal::new(cfg)
+        });
         let engine = match self.discipline {
             Discipline::Stv => Engine::Stv(StvEngine::new(self.model.clone(), self.cfg)),
             Discipline::Sync => Engine::Sync(SyncEngine::new(self.model.clone(), self.cfg)),
@@ -122,6 +490,7 @@ impl TrainerBuilder {
             losses: Vec::new(),
             rollback_steps: Vec::new(),
             checkpoints: Vec::new(),
+            journal,
         }
     }
 }
@@ -142,6 +511,7 @@ pub struct Trainer {
     losses: Vec<(u64, f32)>,
     rollback_steps: Vec<u64>,
     checkpoints: Vec<(u64, Checkpoint)>,
+    journal: Option<StepJournal>,
 }
 
 impl Trainer {
@@ -156,6 +526,7 @@ impl Trainer {
             discipline: Discipline::default(),
             checkpoint_every: None,
             parallel: None,
+            journal: None,
         }
     }
 
@@ -164,11 +535,18 @@ impl Trainer {
     /// # Errors
     /// Propagates [`TensorError`] from the forward/backward pass.
     pub fn step(&mut self, batch: &[Sample]) -> Result<StepOutcome, TensorError> {
+        let pre = self
+            .journal
+            .is_some()
+            .then(|| (counters::snapshot(), self.spans(), Instant::now()));
         let out = match &mut self.engine {
             Engine::Stv(e) => e.train_step(batch)?,
             Engine::Sync(e) => e.train_step(batch)?,
         };
         self.steps_taken += 1;
+        if let Some((ctr0, spans0, t0)) = pre {
+            self.journal_step(&out, batch, ctr0, spans0, t0.elapsed().as_secs_f64());
+        }
         self.losses.push((self.steps_taken, out.loss()));
         if out.rolled_back() {
             self.rollback_steps.push(self.steps_taken);
@@ -195,6 +573,83 @@ impl Trainer {
             self.step(&batch)?;
         }
         Ok(())
+    }
+
+    fn journal_step(
+        &mut self,
+        out: &StepOutcome,
+        batch: &[Sample],
+        ctr0: CounterSnapshot,
+        spans0: EngineSpans,
+        wall_secs: f64,
+    ) {
+        let delta = counters::snapshot().delta_since(&ctr0);
+        let spans1 = self.spans();
+        let (loss_scale, scale_event) = match &self.engine {
+            Engine::Stv(e) => (e.loss_scale(), e.last_scale_event()),
+            Engine::Sync(e) => (e.loss_scale(), e.last_scale_event()),
+        };
+        let tokens: u64 = batch.iter().map(|(x, _)| x.len() as u64).sum();
+        let (outcome, grad_norm) = match *out {
+            StepOutcome::Applied { grad_norm, .. } => ("applied", Some(grad_norm)),
+            StepOutcome::Clipped { grad_norm, .. } => ("clipped", Some(grad_norm)),
+            StepOutcome::Skipped { .. } => ("skipped", None),
+        };
+        let step = self.steps_taken;
+        let journal = self.journal.as_mut().expect("journaling enabled");
+        journal.records.push(StepRecord {
+            step,
+            outcome,
+            loss: out.loss(),
+            grad_norm,
+            loss_scale,
+            scale_event,
+            tokens,
+            counters: delta,
+        });
+        let phase = |a: f64, b: f64| (a - b).max(0.0);
+        journal.timings.push(StepTiming {
+            step,
+            wall_secs,
+            speculate_secs: phase(spans1.speculate.total_secs, spans0.speculate.total_secs),
+            validate_secs: phase(spans1.validate.total_secs, spans0.validate.total_secs),
+            rollback_secs: phase(spans1.rollback.total_secs, spans0.rollback.total_secs),
+            optimizer_secs: phase(
+                spans1.optimizer_step.total_secs,
+                spans0.optimizer_step.total_secs,
+            ),
+            tokens_per_sec: if wall_secs > 0.0 {
+                tokens as f64 / wall_secs
+            } else {
+                0.0
+            },
+            mfu: if wall_secs > 0.0 {
+                delta.total_flops() as f64 / (wall_secs * journal.cfg.peak_flops)
+            } else {
+                0.0
+            },
+        });
+    }
+
+    /// The step journal, if enabled via [`TrainerBuilder::journal`].
+    pub fn journal(&self) -> Option<&StepJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Current dynamic loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        match &self.engine {
+            Engine::Stv(e) => e.loss_scale(),
+            Engine::Sync(e) => e.loss_scale(),
+        }
+    }
+
+    /// What the loss scaler did on the most recent step.
+    pub fn last_scale_event(&self) -> ScaleEvent {
+        match &self.engine {
+            Engine::Stv(e) => e.last_scale_event(),
+            Engine::Sync(e) => e.last_scale_event(),
+        }
     }
 
     /// The wrapped model.
@@ -391,6 +846,69 @@ mod tests {
         let mut pile = SyntheticPile::new(43, 10);
         trainer.run(2, || pile.next_batch(2, 12)).unwrap();
         assert_eq!(trainer.losses().len(), 2);
+    }
+
+    #[test]
+    fn journal_disabled_by_default() {
+        let trainer = Trainer::new(model()).build();
+        assert!(trainer.journal().is_none());
+    }
+
+    // Counter-VALUE assertions live in tests/journal.rs (own process): the
+    // counters are process-wide, so concurrent unit tests would pollute
+    // them. Here we only assert journal structure, which pollution cannot
+    // affect.
+    #[test]
+    fn journal_records_structure_and_serializes() {
+        let mut b = Trainer::new(model());
+        b.journal(JournalConfig::default());
+        let mut trainer = b.build();
+        let mut pile = SyntheticPile::new(43, 11);
+        trainer.run(5, || pile.next_batch(2, 12)).unwrap();
+
+        let j = trainer.journal().unwrap();
+        assert_eq!(j.records().len(), 5);
+        assert_eq!(j.timings().len(), 5);
+        for (i, r) in j.records().iter().enumerate() {
+            assert_eq!(r.step, i as u64 + 1);
+            assert_eq!(r.tokens, 2 * 12);
+            assert!(matches!(r.outcome, "applied" | "clipped" | "skipped"));
+            assert_eq!(r.grad_norm.is_none(), r.outcome == "skipped");
+        }
+        let s = j.summary();
+        assert_eq!(s.steps, 5);
+        assert_eq!(s.applied + s.clipped + s.skipped, 5);
+        assert_eq!(s.tokens, 5 * 24);
+
+        let jsonl = j.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 6, "header + one line per step");
+        for line in jsonl.lines() {
+            superchip_sim::telemetry::validate_json(line).unwrap();
+        }
+        assert!(jsonl.starts_with(&format!("{{\"schema\":\"{JOURNAL_SCHEMA}\"")));
+        superchip_sim::telemetry::validate_json(&j.timing_json()).unwrap();
+        let snap = j.snapshot_json(&[("system", "trainer-test".to_string())]);
+        superchip_sim::telemetry::validate_json(&snap).unwrap();
+        assert!(snap.contains(JOURNAL_SCHEMA));
+        assert!(snap.contains("journal.steps"));
+    }
+
+    #[test]
+    fn journal_captures_overflow_scale_events() {
+        let mut b = Trainer::new(model());
+        b.initial_loss_scale(1e9).journal(JournalConfig::default());
+        let mut trainer = b.build();
+        let mut pile = SyntheticPile::new(43, 5);
+        trainer.run(8, || pile.next_batch(2, 12)).unwrap();
+        let j = trainer.journal().unwrap();
+        assert!(
+            j.records()
+                .iter()
+                .any(|r| r.scale_event == ScaleEvent::BackedOff && r.outcome == "skipped"),
+            "1e9 initial scale must overflow at least once"
+        );
+        assert!(j.summary().scale_backoffs > 0);
+        assert!(trainer.loss_scale() < 1e9);
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Process-wide, thread-safe per-op accounting for the numeric plane.
+//!
+//! Every kernel in `tensor.rs` / `ops.rs` reports (op kind, output
+//! elements, FLOPs) here, every tensor-storage allocation and free reports
+//! its bytes, and the worker pool reports each parallel region it enters.
+//! The counters feed the step journal (`superoffload::trainer`), which
+//! turns per-step deltas into ground-truth measured work — the numeric-
+//! plane analogue of the simulator plane's telemetry.
+//!
+//! # Cost model
+//!
+//! FLOP counts follow the same analytic conventions as
+//! `llm-model/src/flops.rs`: a matmul of `[m,k] @ [k,n]` costs `2·m·k·n`
+//! (one multiply + one add per inner step). Non-GEMM kernels use fixed
+//! documented per-element costs (see [`OpKind`]); they are conventions,
+//! not micro-architectural truth, chosen so totals reconcile with the
+//! model-level formulas.
+//!
+//! Byte accounting covers *tensor storage only*: 4 bytes per `f32` element
+//! counted when a buffer becomes a [`crate::Tensor`]'s storage and again
+//! when that storage is dropped (or handed back via `into_vec`). Kernel
+//! scratch (packed GEMM panels, per-worker transpose stripes) is
+//! deliberately excluded — it is bounded and transient.
+//!
+//! # Determinism
+//!
+//! All counters are plain `Relaxed` atomics: additions commute, so the
+//! totals read at a quiescent point (no kernel in flight) are identical
+//! regardless of thread count or interleaving. Two fields are the
+//! exception and must never enter a deterministic artifact:
+//!
+//! - `peak_bytes` — the live-bytes high-water mark depends on *when*
+//!   concurrent workers allocate, so it varies run to run;
+//! - `pool_parallel_regions` — whether a region went parallel depends on
+//!   the configured thread count.
+//!
+//! Everything else (calls, elements, FLOPs, allocated/freed/live bytes,
+//! total pool regions) is a pure function of the executed kernels.
+//!
+//! # Overhead when disabled
+//!
+//! Recording is gated on one `AtomicBool` loaded with `Relaxed` ordering;
+//! when disabled every hook is a single predictable-branch load, so the
+//! numeric plane pays no measurable cost (the realbench compare gate in CI
+//! holds tokens/sec within 1% of the pre-counter baseline).
+//!
+//! # Enable/reset protocol
+//!
+//! Call [`reset`] + [`enable`] at a quiescent point (no live tensors you
+//! intend to account for, no kernels in flight). Frees are only recorded
+//! while enabled, so a tensor allocated before [`enable`] and dropped
+//! after it would show up as an unmatched free; the conservation invariant
+//! `allocated − freed = live` is maintained by construction for every
+//! alloc/free observed while enabled.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// The op kinds the accounting core distinguishes, with their per-element
+/// FLOP conventions (GEMM kinds use `2·m·k·n` instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpKind {
+    /// `[m,k] @ [k,n]` GEMM — `2·m·k·n` FLOPs.
+    MatMul = 0,
+    /// Fused `Aᵀ @ B` GEMM — `2·m·k·n` FLOPs.
+    MatMulAt = 1,
+    /// Fused `A @ Bᵀ` GEMM — `2·m·k·n` FLOPs.
+    MatMulBt = 2,
+    /// Blocked transpose — 0 FLOPs (pure data movement).
+    Transpose = 3,
+    /// Row-wise softmax — 5 FLOPs/element (sub, exp, add, mul, scale).
+    Softmax = 4,
+    /// Softmax backward — 4 FLOPs/element.
+    SoftmaxBackward = 5,
+    /// Layer norm forward — 8 FLOPs/element.
+    LayerNorm = 6,
+    /// Layer norm backward — 16 FLOPs/element.
+    LayerNormBackward = 7,
+    /// GELU (tanh approximation) — 10 FLOPs/element.
+    Gelu = 8,
+    /// GELU backward — 20 FLOPs/element.
+    GeluBackward = 9,
+    /// Cross-entropy on top of its internal softmax — 3 FLOPs/element.
+    CrossEntropy = 10,
+    /// Named element-wise tensor ops (`add`/`sub`/`mul`/`scale`: 1
+    /// FLOP/element; `axpy`: 2).
+    Elementwise = 11,
+    /// One Adam parameter update — 12 FLOPs/element (see `grace-optim`).
+    AdamStep = 12,
+}
+
+/// Number of distinct [`OpKind`]s.
+pub const N_OP_KINDS: usize = 13;
+
+impl OpKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [OpKind; N_OP_KINDS] = [
+        OpKind::MatMul,
+        OpKind::MatMulAt,
+        OpKind::MatMulBt,
+        OpKind::Transpose,
+        OpKind::Softmax,
+        OpKind::SoftmaxBackward,
+        OpKind::LayerNorm,
+        OpKind::LayerNormBackward,
+        OpKind::Gelu,
+        OpKind::GeluBackward,
+        OpKind::CrossEntropy,
+        OpKind::Elementwise,
+        OpKind::AdamStep,
+    ];
+
+    /// Stable kebab-case name used in journal records and snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::MatMul => "matmul",
+            OpKind::MatMulAt => "matmul-at",
+            OpKind::MatMulBt => "matmul-bt",
+            OpKind::Transpose => "transpose",
+            OpKind::Softmax => "softmax",
+            OpKind::SoftmaxBackward => "softmax-backward",
+            OpKind::LayerNorm => "layer-norm",
+            OpKind::LayerNormBackward => "layer-norm-backward",
+            OpKind::Gelu => "gelu",
+            OpKind::GeluBackward => "gelu-backward",
+            OpKind::CrossEntropy => "cross-entropy",
+            OpKind::Elementwise => "elementwise",
+            OpKind::AdamStep => "adam-step",
+        }
+    }
+
+    /// The array index of this kind.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CALLS: [AtomicU64; N_OP_KINDS] = [const { AtomicU64::new(0) }; N_OP_KINDS];
+static ELEMS: [AtomicU64; N_OP_KINDS] = [const { AtomicU64::new(0) }; N_OP_KINDS];
+static FLOPS: [AtomicU64; N_OP_KINDS] = [const { AtomicU64::new(0) }; N_OP_KINDS];
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+static POOL_REGIONS: AtomicU64 = AtomicU64::new(0);
+static POOL_PARALLEL_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Turns op accounting on. Call at a quiescent point (see module docs).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns op accounting off. Hooks revert to a single relaxed load.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether accounting is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter. Call at a quiescent point.
+pub fn reset() {
+    for i in 0..N_OP_KINDS {
+        CALLS[i].store(0, Ordering::Relaxed);
+        ELEMS[i].store(0, Ordering::Relaxed);
+        FLOPS[i].store(0, Ordering::Relaxed);
+    }
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+    FREED_BYTES.store(0, Ordering::Relaxed);
+    LIVE_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    POOL_REGIONS.store(0, Ordering::Relaxed);
+    POOL_PARALLEL_REGIONS.store(0, Ordering::Relaxed);
+}
+
+/// Records one kernel invocation. Public so sibling numeric-plane crates
+/// (`grace-optim` records [`OpKind::AdamStep`]) can report ops executed
+/// outside `tensorlite` itself.
+#[inline]
+pub fn record_op(kind: OpKind, elems: usize, flops: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let i = kind.index();
+    CALLS[i].fetch_add(1, Ordering::Relaxed);
+    ELEMS[i].fetch_add(elems as u64, Ordering::Relaxed);
+    FLOPS[i].fetch_add(flops, Ordering::Relaxed);
+}
+
+/// Records `elems` f32s becoming tensor storage.
+#[inline]
+pub(crate) fn record_alloc(elems: usize) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let bytes = (elems * 4) as u64;
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+/// Records `elems` f32s of tensor storage being released.
+#[inline]
+pub(crate) fn record_free(elems: usize) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let bytes = (elems * 4) as u64;
+    FREED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// Records the pool entering one kernel region (`parallel` = whether it
+/// actually spawned workers; the total is thread-count-invariant, the
+/// parallel split is not).
+#[inline]
+pub(crate) fn record_pool_region(parallel: bool) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    POOL_REGIONS.fetch_add(1, Ordering::Relaxed);
+    if parallel {
+        POOL_PARALLEL_REGIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter. Exact when taken at a quiescent
+/// point (no kernel in flight); see the module docs for which fields are
+/// deterministic across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Kernel invocations per [`OpKind`] (indexed by [`OpKind::index`]).
+    pub calls: [u64; N_OP_KINDS],
+    /// Output elements produced per [`OpKind`].
+    pub elems: [u64; N_OP_KINDS],
+    /// FLOPs executed per [`OpKind`] (conventions in [`OpKind`] docs).
+    pub flops: [u64; N_OP_KINDS],
+    /// Total bytes that became tensor storage.
+    pub allocated_bytes: u64,
+    /// Total bytes of tensor storage released.
+    pub freed_bytes: u64,
+    /// Currently-live tensor-storage bytes (`allocated − freed`; can go
+    /// negative if [`enable`] was called with tensors already live).
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes`. Thread-timing-dependent — never
+    /// put this in a deterministic artifact.
+    pub peak_bytes: i64,
+    /// Kernel regions entered on the worker pool (deterministic).
+    pub pool_regions: u64,
+    /// Regions that actually spawned workers (thread-count-dependent).
+    pub pool_parallel_regions: u64,
+}
+
+impl Default for CounterSnapshot {
+    fn default() -> Self {
+        CounterSnapshot {
+            calls: [0; N_OP_KINDS],
+            elems: [0; N_OP_KINDS],
+            flops: [0; N_OP_KINDS],
+            allocated_bytes: 0,
+            freed_bytes: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+            pool_regions: 0,
+            pool_parallel_regions: 0,
+        }
+    }
+}
+
+impl CounterSnapshot {
+    /// Invocation count for one kind.
+    pub fn calls(&self, kind: OpKind) -> u64 {
+        self.calls[kind.index()]
+    }
+
+    /// Output-element count for one kind.
+    pub fn elems(&self, kind: OpKind) -> u64 {
+        self.elems[kind.index()]
+    }
+
+    /// FLOP count for one kind.
+    pub fn flops(&self, kind: OpKind) -> u64 {
+        self.flops[kind.index()]
+    }
+
+    /// Total kernel invocations across all kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+
+    /// Total FLOPs across all kinds.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// The change since `base` (an earlier snapshot): monotone counters
+    /// subtract; `live_bytes` is the signed change; `peak_bytes` carries
+    /// this (later) snapshot's running maximum unchanged, because a
+    /// high-water mark has no meaningful delta.
+    pub fn delta_since(&self, base: &CounterSnapshot) -> CounterSnapshot {
+        let mut d = *self;
+        for i in 0..N_OP_KINDS {
+            d.calls[i] = self.calls[i].wrapping_sub(base.calls[i]);
+            d.elems[i] = self.elems[i].wrapping_sub(base.elems[i]);
+            d.flops[i] = self.flops[i].wrapping_sub(base.flops[i]);
+        }
+        d.allocated_bytes = self.allocated_bytes.wrapping_sub(base.allocated_bytes);
+        d.freed_bytes = self.freed_bytes.wrapping_sub(base.freed_bytes);
+        d.live_bytes = self.live_bytes - base.live_bytes;
+        d.pool_regions = self.pool_regions.wrapping_sub(base.pool_regions);
+        d.pool_parallel_regions = self
+            .pool_parallel_regions
+            .wrapping_sub(base.pool_parallel_regions);
+        d
+    }
+}
+
+/// Takes a snapshot of all counters. Exact at quiescent points.
+pub fn snapshot() -> CounterSnapshot {
+    let mut s = CounterSnapshot::default();
+    for i in 0..N_OP_KINDS {
+        s.calls[i] = CALLS[i].load(Ordering::Relaxed);
+        s.elems[i] = ELEMS[i].load(Ordering::Relaxed);
+        s.flops[i] = FLOPS[i].load(Ordering::Relaxed);
+    }
+    s.allocated_bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+    s.freed_bytes = FREED_BYTES.load(Ordering::Relaxed);
+    s.live_bytes = LIVE_BYTES.load(Ordering::Relaxed);
+    s.peak_bytes = PEAK_BYTES.load(Ordering::Relaxed);
+    s.pool_regions = POOL_REGIONS.load(Ordering::Relaxed);
+    s.pool_parallel_regions = POOL_PARALLEL_REGIONS.load(Ordering::Relaxed);
+    s
+}
+
+/// Runs `f` with counters reset and enabled, restoring the previous
+/// enabled state afterwards and returning `f`'s result alongside the
+/// final snapshot. The serialized-access guard for tests and short
+/// measurement regions: take it around a quiescent section.
+pub fn with_counters<R>(f: impl FnOnce() -> R) -> (R, CounterSnapshot) {
+    let was = is_enabled();
+    reset();
+    enable();
+    let r = f();
+    let snap = snapshot();
+    if !was {
+        disable();
+    }
+    (r, snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Counters are process-wide; tests that enable them must not overlap.
+    pub(crate) fn serial_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial_guard();
+        disable();
+        reset();
+        let a = Tensor::zeros(&[8, 8]);
+        let _ = a.matmul(&a).unwrap();
+        let s = snapshot();
+        assert_eq!(s, CounterSnapshot::default());
+    }
+
+    #[test]
+    fn conservation_and_peak_invariants() {
+        let _g = serial_guard();
+        let ((), s) = with_counters(|| {
+            let a = Tensor::zeros(&[16, 16]);
+            let b = a.clone();
+            let c = a.matmul(&b).unwrap();
+            drop(b);
+            let v = c.into_vec();
+            assert_eq!(v.len(), 256);
+            drop(a);
+        });
+        assert_eq!(
+            s.allocated_bytes as i64 - s.freed_bytes as i64,
+            s.live_bytes
+        );
+        assert_eq!(s.live_bytes, 0, "everything was dropped");
+        assert!(s.peak_bytes >= s.live_bytes);
+        // a + clone + matmul result all lived at once: 3 × 16×16×4 B.
+        assert!(s.peak_bytes >= 3 * 16 * 16 * 4);
+        assert_eq!(s.calls(OpKind::MatMul), 1);
+        assert_eq!(s.elems(OpKind::MatMul), 256);
+        assert_eq!(s.flops(OpKind::MatMul), 2 * 16 * 16 * 16);
+    }
+
+    #[test]
+    fn op_totals_are_thread_count_invariant() {
+        let _g = serial_guard();
+        let mut rng = crate::rng::XorShiftRng::new(42);
+        // Big enough to clear PAR_WORK_THRESHOLD so the pool really forks.
+        let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+        let mut per_threads = Vec::new();
+        for threads in [1usize, 2, 7] {
+            let ((), s) = with_counters(|| {
+                crate::pool::with_threads(threads, || {
+                    let c = a.matmul(&b).unwrap();
+                    let d = crate::ops::softmax_rows(&c).unwrap();
+                    let _ = crate::ops::gelu(&d);
+                })
+            });
+            per_threads.push((threads, s));
+        }
+        let (_, base) = per_threads[0];
+        for (threads, s) in &per_threads[1..] {
+            assert_eq!(s.calls, base.calls, "threads={threads}");
+            assert_eq!(s.elems, base.elems, "threads={threads}");
+            assert_eq!(s.flops, base.flops, "threads={threads}");
+            assert_eq!(s.allocated_bytes, base.allocated_bytes, "t={threads}");
+            assert_eq!(s.freed_bytes, base.freed_bytes, "t={threads}");
+            assert_eq!(s.live_bytes, base.live_bytes, "t={threads}");
+            assert_eq!(s.pool_regions, base.pool_regions, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn delta_since_subtracts_monotone_counters() {
+        let mut a = CounterSnapshot::default();
+        a.calls[0] = 10;
+        a.allocated_bytes = 100;
+        a.freed_bytes = 40;
+        a.live_bytes = 60;
+        a.peak_bytes = 80;
+        let mut b = a;
+        b.calls[0] = 25;
+        b.allocated_bytes = 300;
+        b.freed_bytes = 240;
+        b.live_bytes = 60;
+        b.peak_bytes = 120;
+        let d = b.delta_since(&a);
+        assert_eq!(d.calls[0], 15);
+        assert_eq!(d.allocated_bytes, 200);
+        assert_eq!(d.freed_bytes, 200);
+        assert_eq!(d.live_bytes, 0);
+        assert_eq!(d.peak_bytes, 120, "peak carries the later running max");
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_indexed() {
+        let mut names: Vec<&str> = OpKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_OP_KINDS);
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cast;
+pub mod counters;
 pub mod error;
 pub mod f16;
 pub mod ops;
@@ -43,6 +44,7 @@ pub mod rng;
 pub mod tensor;
 
 pub use cast::{f16_to_f32_slice, f32_to_f16_slice, has_nonfinite};
+pub use counters::{CounterSnapshot, OpKind};
 pub use error::TensorError;
 pub use f16::{Bf16, F16};
 pub use pool::{ParallelConfig, Pool};

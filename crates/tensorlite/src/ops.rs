@@ -4,6 +4,7 @@
 //! analytic gradient, verified against finite differences in the test suite.
 //! These kernels are composed by `llm-model` into a real GPT-style model.
 
+use crate::counters::{self, OpKind};
 use crate::error::TensorError;
 use crate::pool::Pool;
 use crate::tensor::Tensor;
@@ -38,6 +39,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
+    counters::record_op(OpKind::Softmax, m * n, 5 * (m * n) as u64);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -63,6 +65,7 @@ pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor, TensorEr
             }
         }
     });
+    counters::record_op(OpKind::SoftmaxBackward, m * n, 4 * (m * n) as u64);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -105,6 +108,7 @@ pub fn layer_norm(
             }
         }
     });
+    counters::record_op(OpKind::LayerNorm, m * n, 8 * (m * n) as u64);
     Ok((Tensor::from_vec(out, &[m, n])?, means, inv_stds))
 }
 
@@ -198,11 +202,13 @@ pub fn layer_norm_backward(
             dbeta[j] += dyr[j];
         }
     }
+    counters::record_op(OpKind::LayerNormBackward, m * n, 16 * (m * n) as u64);
     Ok((Tensor::from_vec(dx, &[m, n])?, dgamma, dbeta))
 }
 
 /// GELU activation (tanh approximation, as used by GPT-2/3).
 pub fn gelu(x: &Tensor) -> Tensor {
+    counters::record_op(OpKind::Gelu, x.len(), 10 * x.len() as u64);
     x.map(gelu_scalar)
 }
 
@@ -212,6 +218,7 @@ pub fn gelu(x: &Tensor) -> Tensor {
 /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
     ensure_same_shape(x, dy, "gelu_backward")?;
+    counters::record_op(OpKind::GeluBackward, x.len(), 20 * x.len() as u64);
     Ok(x.zip_map(dy, |xv, dyv| dyv * gelu_grad_scalar(xv)))
 }
 
@@ -261,6 +268,8 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)
     for g in &mut grad {
         *g *= inv_m;
     }
+    // The internal softmax recorded itself; this is the loss/grad epilogue.
+    counters::record_op(OpKind::CrossEntropy, m * n, 3 * (m * n) as u64);
     Ok(((loss / m as f64) as f32, Tensor::from_vec(grad, &[m, n])?))
 }
 

@@ -22,6 +22,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use crate::counters;
+
 /// Sentinel meaning "not configured" in the global thread-count cell.
 const UNSET: usize = usize::MAX;
 
@@ -188,11 +190,13 @@ impl Pool {
     /// disjoint unit of work, so execution order cannot affect results.
     pub fn run_parts<S: Send>(&self, parts: Vec<S>, f: impl Fn(usize, S) + Sync) {
         if self.threads <= 1 || parts.len() <= 1 {
+            counters::record_pool_region(false);
             for (i, p) in parts.into_iter().enumerate() {
                 f(i, p);
             }
             return;
         }
+        counters::record_pool_region(true);
         std::thread::scope(|scope| {
             for (i, p) in parts.into_iter().enumerate() {
                 let f = &f;
@@ -207,6 +211,10 @@ impl Pool {
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let t = self.threads.min(n).max(1);
         if t <= 1 {
+            // One region per kernel invocation, matching the delegation to
+            // `run_parts` on the parallel path: the total region count is
+            // thread-count-invariant.
+            counters::record_pool_region(false);
             for (i, slot) in out.iter_mut().enumerate() {
                 *slot = Some(f(i));
             }
@@ -254,6 +262,7 @@ impl Pool {
         let rows = data.len() / row_len;
         let t = self.threads.min(rows).max(1);
         if t <= 1 {
+            counters::record_pool_region(false);
             f(0, data);
             return;
         }

@@ -1,5 +1,6 @@
 //! Dense row-major `f32` tensors.
 
+use crate::counters::{self, OpKind};
 use crate::error::TensorError;
 use crate::pool::Pool;
 use crate::rng::XorShiftRng;
@@ -29,13 +30,35 @@ const TRANSPOSE_TILE: usize = 32;
 /// assert_eq!(x.get2(1, 2)?, 6.0);
 /// # Ok::<(), tensorlite::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::new_unchecked(self.data.clone(), self.shape.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        if !self.data.is_empty() {
+            counters::record_free(self.data.len());
+        }
+    }
+}
+
 impl Tensor {
+    /// The one construction funnel: every buffer that becomes tensor
+    /// storage passes through here so the byte accounting in
+    /// [`crate::counters`] sees it.
+    fn new_unchecked(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        counters::record_alloc(data.len());
+        Tensor { data, shape }
+    }
+
     /// Creates a tensor from a flat vector and shape.
     ///
     /// # Errors
@@ -49,18 +72,12 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor {
-            data,
-            shape: shape.to_vec(),
-        })
+        Ok(Tensor::new_unchecked(data, shape.to_vec()))
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor {
-            data: vec![0.0; shape.iter().product()],
-            shape: shape.to_vec(),
-        }
+        Tensor::new_unchecked(vec![0.0; shape.iter().product()], shape.to_vec())
     }
 
     /// All-ones tensor.
@@ -70,10 +87,7 @@ impl Tensor {
 
     /// Constant-filled tensor.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor {
-            data: vec![value; shape.iter().product()],
-            shape: shape.to_vec(),
-        }
+        Tensor::new_unchecked(vec![value; shape.iter().product()], shape.to_vec())
     }
 
     /// The `n × n` identity matrix.
@@ -90,10 +104,7 @@ impl Tensor {
         let data = (0..shape.iter().product())
             .map(|_| rng.normal_scaled(0.0, std))
             .collect();
-        Tensor {
-            data,
-            shape: shape.to_vec(),
-        }
+        Tensor::new_unchecked(data, shape.to_vec())
     }
 
     /// The shape.
@@ -126,9 +137,12 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its flat storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its flat storage. The bytes leave
+    /// tensor accounting here (counted as freed).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        counters::record_free(data.len());
+        data
     }
 
     /// Rank-2 element read.
@@ -201,6 +215,7 @@ impl Tensor {
     /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "add")?;
+        counters::record_op(OpKind::Elementwise, self.len(), self.len() as u64);
         Ok(self.zip_map(other, |a, b| a + b))
     }
 
@@ -210,6 +225,7 @@ impl Tensor {
     /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "sub")?;
+        counters::record_op(OpKind::Elementwise, self.len(), self.len() as u64);
         Ok(self.zip_map(other, |a, b| a - b))
     }
 
@@ -219,6 +235,7 @@ impl Tensor {
     /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "mul")?;
+        counters::record_op(OpKind::Elementwise, self.len(), self.len() as u64);
         Ok(self.zip_map(other, |a, b| a * b))
     }
 
@@ -228,6 +245,7 @@ impl Tensor {
     /// Returns [`TensorError::IncompatibleShapes`] on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
         self.check_same_shape(other, "axpy")?;
+        counters::record_op(OpKind::Elementwise, self.len(), 2 * self.len() as u64);
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -236,15 +254,16 @@ impl Tensor {
 
     /// Tensor scaled by a constant.
     pub fn scale(&self, alpha: f32) -> Tensor {
+        counters::record_op(OpKind::Elementwise, self.len(), self.len() as u64);
         self.map(|x| x * alpha)
     }
 
     /// Applies `f` element-wise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor::new_unchecked(
+            self.data.iter().map(|&x| f(x)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Combines two same-shaped tensors element-wise.
@@ -253,15 +272,14 @@ impl Tensor {
     /// Panics if the shapes differ (callers validate first).
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        Tensor {
-            data: self
-                .data
+        Tensor::new_unchecked(
+            self.data
                 .iter()
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-            shape: self.shape.clone(),
-        }
+            self.shape.clone(),
+        )
     }
 
     /// Matrix product of two rank-2 tensors.
@@ -295,6 +313,7 @@ impl Tensor {
             let a_rows = &self.data[first_row * k..first_row * k + (block.len() / n) * k];
             gemm_packed_block(a_rows, k, &packed, n, block);
         });
+        counters::record_op(OpKind::MatMul, m * n, gemm_flops(m, k, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -340,6 +359,7 @@ impl Tensor {
             }
             gemm_packed_block(&at, k, &packed, n, block);
         });
+        counters::record_op(OpKind::MatMulAt, m * n, gemm_flops(m, k, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -384,6 +404,7 @@ impl Tensor {
                 }
             }
         });
+        counters::record_op(OpKind::MatMulBt, m * n, gemm_flops(m, k, n));
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -412,6 +433,7 @@ impl Tensor {
             }
             ii = i_hi;
         }
+        counters::record_op(OpKind::Transpose, m * n, 0);
         Tensor::from_vec(out, &[n, m])
     }
 
@@ -459,6 +481,12 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+}
+
+/// The `2·m·k·n` GEMM FLOP convention shared with `llm-model/src/flops.rs`
+/// (one multiply + one add per inner-loop step), in overflow-safe u64.
+fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
 }
 
 /// Packs a row-major `[k, n]` matrix into column panels of [`GEMM_NC`]
