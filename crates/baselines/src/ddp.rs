@@ -7,16 +7,14 @@
 
 use llm_model::flops::TrainingFlops;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use llm_model::memory::ModelStateMemory;
 use superoffload::bucket::BucketPlan;
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -54,12 +52,12 @@ pub fn simulate_traced(
     ranks: u32,
     workload: &Workload,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "pytorch-ddp";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
@@ -68,7 +66,7 @@ pub fn simulate_traced(
     // casts compute), so replicated residency is 4Ψ + 4Ψ + 8Ψ Adam + 2Ψ
     // FP16 autocast copies + 2Ψ flat all-reduce buffer = 20Ψ — which is
     // what caps DDP near 3.5–4B on 96 GB (Fig. 13).
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let params_bytes = states.fp32_params; // 4Ψ
     let gpu_resident = params_bytes + params_bytes + states.optimizer_states() - states.fp32_params
         + states.fp16_params
@@ -86,7 +84,7 @@ pub fn simulate_traced(
     let overhead = SimTime::from_secs(OP_OVERHEAD_TUNED);
     let buckets = BucketPlan::new(params, DDP_BUCKET_BYTES, 0);
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

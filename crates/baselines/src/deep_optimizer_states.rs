@@ -20,10 +20,9 @@ use superoffload::casting::CastPlacement;
 use superoffload::costs::{
     gpu_optimizer_time, pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK,
 };
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -80,9 +79,10 @@ pub fn simulate_traced(
     ranks: u32,
     workload: &Workload,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "deep-optimizer-states";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    lease.check_span(ranks)?;
+    let chip = lease.chip();
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
@@ -92,7 +92,7 @@ pub fn simulate_traced(
 
     // Same GPU replication as ZeRO-Offload, plus a staging window for the
     // optimizer states of the buckets being stepped on the GPU.
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let staging = 4 * BUCKET_BYTES * OPT_STATE_BYTES / 4;
     let gpu_resident = states.fp16_params + states.fp16_grads + states.fp16_grads / n + staging;
     cap.fit_gpu(gpu_resident)?;
@@ -113,7 +113,7 @@ pub fn simulate_traced(
     let shard = |elems: u64| (elems / n).max(1);
     let share = gpu_share(chip);
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

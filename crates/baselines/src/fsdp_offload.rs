@@ -10,15 +10,13 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::casting::CastPlacement;
 use superoffload::costs::{ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -53,19 +51,19 @@ pub fn simulate_traced(
     ranks: u32,
     workload: &Workload,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "fsdp-offload";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
     let layers = workload.config.layers.max(1);
 
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
 
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     // GPU: two units' parameters at a time (current + prefetch).
     let unit_params = params / layers as u64;
     let gpu_resident = 2 * 2 * unit_params * 2;
@@ -87,7 +85,7 @@ pub fn simulate_traced(
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

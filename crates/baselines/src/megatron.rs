@@ -9,14 +9,12 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::{ExecutionPlan, Workload};
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -68,17 +66,18 @@ pub fn simulate_with_mp_traced(
 ) -> Result<(TrainReport, Trace), Infeasible> {
     assert!(mp >= 1 && ranks.is_multiple_of(mp), "mp must divide ranks");
     let system = "megatron";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
     let dp = ranks / mp;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
-    let mp_coll = CollectiveCost::new(*cluster.collective_link(mp), mp);
-    let dp_coll = CollectiveCost::new(*cluster.collective_link(ranks), dp);
+    let mp_coll = lease.collective(mp)?;
+    let dp_coll = lease.collective_spanning(ranks, dp)?;
 
     let rank_wl = split_batch(workload, dp)?;
     let rank_batch = rank_wl.global_batch;
 
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let gpu_resident = states.total() / mp as u64;
     cap.fit_gpu(gpu_resident)?;
     // Activation budget: sharded by mp except the unsharded fraction.
@@ -113,7 +112,7 @@ pub fn simulate_with_mp_traced(
         SimTime::ZERO
     };
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

@@ -17,13 +17,13 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::{ActivationMemory, ModelStateMemory};
 use llm_model::workload::{ExecutionPlan, Workload};
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
 use superoffload::schedule::finalize_report;
-use superoffload::system::{collapse, Capacity, Infeasible, OffloadSystem};
+use superoffload::system::{collapse, Infeasible, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -67,17 +67,20 @@ pub fn simulate_traced(
     stages: u32,
     workload: &Workload,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(stages >= 1 && stages <= cluster.total_gpus());
     let system = "pipeline";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
-    let coll = CollectiveCost::new(*cluster.collective_link(stages), 2);
+    // Stage hand-offs are point-to-point (2 endpoints) over whatever link
+    // the `stages`-GPU placement must cross; a single stage has no hops,
+    // so its handle degenerates to one rank.
+    let coll = lease.collective_spanning(stages, stages.min(2))?;
 
     // Memory per stage: 1/stages of the model states, plus activations for
     // the micro-batches in flight (up to `stages` of them at the steady
     // point of the pipeline).
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let stage_states = states.total() / stages as u64;
     cap.fit_gpu(stage_states)?;
     // Choose the micro-batch: smallest unit (1 sequence) maximizes bubble
@@ -108,13 +111,18 @@ pub fn simulate_traced(
     let hop_bytes = 2 * workload.seq * workload.config.hidden as u64;
     let hop = coll.link().transfer_time(hop_bytes);
 
+    // Every stage lives in the namespace of the node hosting it, so a
+    // fleet-spanning pipeline shows which side of the fabric each stage
+    // and hand-off link sit on (node 0 keeps bare names).
+    let chips_per_node = cluster.node.chip_count.max(1);
+    let node_of = |stage: u32| stage / chips_per_node;
     let mut sim = Simulator::new();
     let gpus: Vec<_> = (0..stages)
-        .map(|s| sim.add_resource(format!("gpu{s}")))
+        .map(|s| sim.add_node_resource(node_of(s), format!("gpu{s}")))
         .collect();
     let cpu = sim.add_resource("cpu");
     let links: Vec<_> = (0..stages.saturating_sub(1))
-        .map(|s| sim.add_resource(format!("link{s}")))
+        .map(|s| sim.add_node_resource(node_of(s), format!("link{s}")))
         .collect();
 
     let mut gates = Vec::new();

@@ -7,15 +7,13 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::costs::{gpu_optimizer_time, ComputeTimes, OP_OVERHEAD_TUNED};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -84,17 +82,17 @@ pub fn simulate_traced(
     workload: &Workload,
     stage: ZeroStage,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = stage.name();
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
 
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let n = ranks as u64;
     let gpu_resident = match stage {
         // Full FP16 params + full FP16 gradients (held until the reduction
@@ -124,7 +122,7 @@ pub fn simulate_traced(
     let buckets = BucketPlan::new(params, ZERO_BUCKET_BYTES, 0);
     let allgather = coll.all_gather(states.fp16_params / n.max(1));
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, 0);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

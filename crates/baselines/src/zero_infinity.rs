@@ -11,16 +11,14 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::casting::CastPlacement;
 use superoffload::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
-use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-};
+use superoffload::system::{collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem};
 
 use crate::common::ITERATIONS;
 
@@ -103,19 +101,19 @@ pub fn simulate_with_nvme_traced(
     workload: &Workload,
     nvme: Option<NvmeTier>,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "zero-infinity";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
 
     // GPU: only a streaming window + staging. CPU: all model states.
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let window = (states.fp16_params / workload.config.layers.max(1) as u64) * 4;
     let gpu_resident = window + 4 * INFINITY_BUCKET_BYTES;
     cap.fit_gpu(gpu_resident)?;
@@ -160,7 +158,7 @@ pub fn simulate_with_nvme_traced(
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     let nvme_res = ctx.add_resource("nvme");
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 

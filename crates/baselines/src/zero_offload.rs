@@ -13,16 +13,15 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use superoffload::bucket::BucketPlan;
 use superoffload::casting::CastPlacement;
 use superoffload::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_FRAMEWORK};
+use superoffload::fleet::FleetCtx;
 use superoffload::report::TrainReport;
 use superoffload::system::{
-    collapse, split_batch, Capacity, Infeasible, IterationBuilder, OffloadSystem, ScheduleCtx,
-    STANDARD_RESOURCES,
+    collapse, split_batch, Infeasible, IterationBuilder, OffloadSystem, STANDARD_RESOURCES,
 };
 
 use crate::common::ITERATIONS;
@@ -68,18 +67,18 @@ pub fn simulate_traced(
     ranks: u32,
     workload: &Workload,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "zero-offload";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let n = ranks as u64;
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
 
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     // Full FP16 params + full FP16 grads + the contiguous reduce buffer
     // (partitioned across ranks) — the 6Ψ replication that caps
     // ZeRO-Offload near 13-15B on 96 GB regardless of rank count.
@@ -104,7 +103,7 @@ pub fn simulate_traced(
     let cast = CastPlacement::CpuCastMoveFp16Pageable;
     let shard = |elems: u64| (elems / n).max(1);
 
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
     let mut iters = IterationBuilder::new();
     for _ in 0..ITERATIONS {

@@ -8,9 +8,10 @@
 //! cargo run --release -p superoffload-bench --bin repro -- compare base.json cur.json
 //! cargo run --release -p superoffload-bench --bin repro -- journal --steps 24 --seed 42
 //! cargo run --release -p superoffload-bench --bin repro -- realbench --steps 8
+//! cargo run --release -p superoffload-bench --bin repro -- scale --nodes 1..8
 //! ```
 
-use superoffload_bench::{analyze, compare, experiments, journal, profile, realbench};
+use superoffload_bench::{analyze, compare, experiments, journal, profile, realbench, scale};
 
 const EXPERIMENTS: &[(&str, fn())] = &[
     ("table1", experiments::print_table1),
@@ -43,12 +44,51 @@ fn print_fig11_both() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <subcommand> [flags]");
+        eprintln!();
+        eprintln!("subcommands:");
+        eprintln!("  <experiment>...                  print one or more figure/table experiments");
+        eprintln!("  all                              print every experiment in order");
+        eprintln!("  profile <system>                 Perfetto trace + metrics snapshot");
+        eprintln!("                                   -> profile_<system>.trace.json, profile_<system>.json");
+        eprintln!("  analyze <system>                 critical-path + stall-attribution report");
+        eprintln!("                                   -> analysis_<system>.json");
+        eprintln!("  compare <baseline.json> <current.json> [--tolerance <frac>]");
         eprintln!(
-            "usage: repro <experiment>... | all | profile <system> | analyze <system> \
-             | compare <baseline.json> <current.json> [--tolerance frac] \
-             | journal [--steps N] [--seed N] [--peak-flops F] \
-             | realbench [--steps N] [--seed N]"
+            "                                   exit 1 if metrics regress beyond the tolerance \
+             (default {})",
+            compare::DEFAULT_TOLERANCE
         );
+        eprintln!("  journal [--steps <N>] [--seed <N>] [--peak-flops <F>]");
+        eprintln!(
+            "                                   real journaled training run -> journal.jsonl, \
+             journal_timing.json,"
+        );
+        eprintln!(
+            "                                   journal_snapshot.json, journal_dashboard.html \
+             (defaults: --steps {} --seed {})",
+            journal::DEFAULT_STEPS,
+            journal::DEFAULT_SEED
+        );
+        eprintln!("  realbench [--steps <N>] [--seed <N>]");
+        eprintln!(
+            "                                   real-plane measurement -> BENCH_realplane.json \
+             (defaults: --steps {} --seed {})",
+            realbench::REALPLANE_STEPS,
+            realbench::REALPLANE_SEED
+        );
+        eprintln!("  scale [--nodes <A..B|N>] [--system <name>]");
+        eprintln!(
+            "                                   multi-Superchip scaling sweep -> scale_sweep.json \
+             (or scale_<system>.json;"
+        );
+        eprintln!(
+            "                                   defaults: --nodes {}..{}, systems {})",
+            scale::DEFAULT_NODES.0,
+            scale::DEFAULT_NODES.1,
+            scale::DEFAULT_SYSTEMS.join(" ")
+        );
+        eprintln!();
         eprintln!(
             "experiments: {} all",
             EXPERIMENTS
@@ -57,24 +97,7 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        eprintln!("profile <system>: emit a Perfetto trace + metrics snapshot");
-        eprintln!("analyze <system>: critical-path + stall report, analysis_<system>.json");
-        eprintln!(
-            "compare <baseline> <current>: exit 1 if metrics regress beyond tolerance \
-             (default {})",
-            compare::DEFAULT_TOLERANCE
-        );
-        eprintln!(
-            "journal: real journaled training run -> journal.jsonl + timing sidecar \
-             + HTML dashboard (defaults: --steps {} --seed {})",
-            journal::DEFAULT_STEPS,
-            journal::DEFAULT_SEED
-        );
-        eprintln!(
-            "realbench: real-plane measurement (defaults: --steps {} --seed {})",
-            realbench::REALPLANE_STEPS,
-            realbench::REALPLANE_SEED
-        );
+        eprintln!("system names accept both spellings: zero-offload == zero_offload");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
 
@@ -107,6 +130,15 @@ fn main() {
                 eprintln!("realbench: {msg}");
                 std::process::exit(2);
             }
+        }
+        return;
+    }
+
+    // `scale` takes flags, like `journal`.
+    if args[0] == "scale" {
+        if let Err(msg) = scale::run(&args[1..]) {
+            eprintln!("scale failed: {msg}");
+            std::process::exit(1);
         }
         return;
     }

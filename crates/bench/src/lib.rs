@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod journal;
 pub mod profile;
 pub mod realbench;
+pub mod scale;
 
 /// Serializes CPU-hungry or timing-sensitive tests within this binary:
 /// the realbench latency-ordering test measures wall time, and the journal

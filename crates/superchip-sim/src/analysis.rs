@@ -42,10 +42,11 @@ pub const ANALYSIS_SCHEMA: &str = "superoffload.analysis/v1";
 /// falls into exactly one class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StallClass {
-    /// Bound by a data movement or cast task in flight.
+    /// Bound by a data movement task in flight — a transfer, cast, or
+    /// collective. Collective wait is the "communication-exposed" time the
+    /// scale sweep reports per node count.
     WaitingOnTransfer,
-    /// Bound by compute or a collective on another resource (a
-    /// synchronization bubble).
+    /// Bound by compute on another resource (a synchronization bubble).
     WaitingOnDependency,
     /// Bound by a transfer that exists only because state could not stay
     /// resident (tagged [`TaskTag::Eviction`]).
@@ -253,7 +254,9 @@ fn class_of(iv: &Interval) -> Option<StallClass> {
         TaskTag::OptimizerStep => StallClass::OptimizerExposed,
         TaskTag::Eviction => StallClass::CapacityEvicted,
         TaskTag::Generic => match iv.kind {
-            TaskKind::Transfer | TaskKind::Cast => StallClass::WaitingOnTransfer,
+            TaskKind::Transfer | TaskKind::Cast | TaskKind::Collective => {
+                StallClass::WaitingOnTransfer
+            }
             _ => StallClass::WaitingOnDependency,
         },
     })

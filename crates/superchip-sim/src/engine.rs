@@ -251,6 +251,20 @@ impl Simulator {
         ResourceId(self.resources.len() - 1)
     }
 
+    /// Registers a resource in node `node`'s namespace: node 0 keeps the
+    /// bare `name` (so single-node schedules are indistinguishable from the
+    /// pre-fleet layout, byte for byte), while nodes 1+ get a
+    /// `node<N>/<name>` prefix. This is how per-node resource namespaces
+    /// share one simulator without colliding.
+    pub fn add_node_resource(&mut self, node: u32, name: impl Into<String>) -> ResourceId {
+        let name = name.into();
+        if node == 0 {
+            self.add_resource(name)
+        } else {
+            self.add_resource(format!("node{node}/{name}"))
+        }
+    }
+
     /// Returns the name a resource was registered under.
     pub fn resource_name(&self, id: ResourceId) -> Option<&str> {
         self.resources.get(id.0).map(String::as_str)
@@ -588,5 +602,18 @@ mod tests {
     fn kind_display() {
         assert_eq!(TaskKind::Compute.to_string(), "compute");
         assert_eq!(TaskKind::Collective.to_string(), "collective");
+    }
+
+    #[test]
+    fn node_resources_namespace_by_node() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_node_resource(0, "gpu");
+        let g1 = sim.add_node_resource(1, "gpu");
+        let g2 = sim.add_node_resource(2, "gpu");
+        // Node 0 keeps the bare name — bit-identical to pre-fleet layouts.
+        assert_eq!(sim.resource_name(g0), Some("gpu"));
+        assert_eq!(sim.resource_name(g1), Some("node1/gpu"));
+        assert_eq!(sim.resource_name(g2), Some("node2/gpu"));
+        assert_eq!(sim.resource_count(), 3);
     }
 }

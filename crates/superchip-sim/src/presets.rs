@@ -108,6 +108,24 @@ pub fn gh200_nvl2_cluster(nodes: u32) -> ClusterSpec {
     }
 }
 
+/// A fleet of `nodes` single-Superchip GH200 nodes (96 GB HBM + 480 GB DDR
+/// each) joined by a Slingshot 11 fabric — the paper's multi-Superchip
+/// testbed (§5.1: 4×GH200 over HPE Slingshot). With `nodes == 1` this is
+/// structurally identical to wrapping [`gh200_chip`] in a one-node cluster,
+/// which is what keeps the fleet scale sweep's single-node point
+/// byte-identical to the single-chip artifacts.
+pub fn gh200_superchip_fleet(nodes: u32) -> ClusterSpec {
+    ClusterSpec {
+        node: NodeSpec {
+            chip: gh200_chip(),
+            chip_count: 1,
+            intra_link: nvlink_gpu(),
+        },
+        node_count: nodes,
+        inter_link: slingshot11(),
+    }
+}
+
 /// The DGX-2 configuration from Table 1 (Intel Xeon + V100, PCIe 3.0 x16).
 pub fn dgx2_chip() -> ChipSpec {
     ChipSpec {
@@ -226,5 +244,19 @@ mod tests {
         assert_eq!(c.total_gpus(), 16);
         assert_eq!(c.node.chip.cpu.mem_bytes, 240 * GB);
         assert_eq!(c.inter_link.peak_bandwidth(), 25e9);
+    }
+
+    #[test]
+    fn superchip_fleet_shape() {
+        let fleet = gh200_superchip_fleet(4);
+        assert_eq!(fleet.total_gpus(), 4);
+        assert_eq!(fleet.node.chip_count, 1);
+        assert_eq!(fleet.node.chip.cpu.mem_bytes, 480 * GB);
+        // Any collective spanning more than one Superchip crosses Slingshot.
+        assert_eq!(fleet.collective_link(4).peak_bandwidth(), 25e9);
+        // A one-node fleet is exactly the single-chip degenerate cluster.
+        let single = gh200_superchip_fleet(1);
+        assert_eq!(single.total_gpus(), 1);
+        assert_eq!(single.node.chip, gh200_chip());
     }
 }

@@ -175,7 +175,9 @@ impl ClusterSpec {
     /// inter-node fabric.
     ///
     /// # Panics
-    /// Panics if `ranks` exceeds the cluster size or is zero.
+    /// Panics if `ranks` exceeds the cluster size or is zero. Capacity
+    /// planners that want a typed error instead should use
+    /// [`ClusterSpec::try_collective_link`].
     pub fn collective_link(&self, ranks: u32) -> &Link {
         assert!(ranks >= 1, "collective must span at least one rank");
         assert!(
@@ -183,11 +185,23 @@ impl ClusterSpec {
             "collective spans {ranks} ranks but cluster has {}",
             self.total_gpus()
         );
-        if ranks <= self.node.chip_count {
+        self.try_collective_link(ranks)
+            .expect("bounds checked above")
+    }
+
+    /// Non-panicking form of [`ClusterSpec::collective_link`]: `None` when
+    /// `ranks` is zero or the fabric does not connect that many GPU
+    /// endpoints, so callers can surface a typed infeasibility instead of
+    /// crashing.
+    pub fn try_collective_link(&self, ranks: u32) -> Option<&Link> {
+        if ranks == 0 || ranks > self.total_gpus() {
+            return None;
+        }
+        Some(if ranks <= self.node.chip_count {
             &self.node.intra_link
         } else {
             &self.inter_link
-        }
+        })
     }
 
     /// Aggregate CPU memory available to one GPU's offloaded state when the
@@ -267,6 +281,20 @@ mod tests {
     fn oversized_collective_panics() {
         let cluster = presets::gh200_nvl2_cluster(1);
         let _ = cluster.collective_link(64);
+    }
+
+    #[test]
+    fn try_collective_link_reports_capacity_without_panicking() {
+        let cluster = presets::gh200_nvl2_cluster(1);
+        assert!(cluster.try_collective_link(0).is_none());
+        assert!(cluster.try_collective_link(64).is_none());
+        // In-range ranks agree with the panicking accessor.
+        for ranks in 1..=cluster.total_gpus() {
+            assert_eq!(
+                cluster.try_collective_link(ranks),
+                Some(cluster.collective_link(ranks))
+            );
+        }
     }
 
     #[test]

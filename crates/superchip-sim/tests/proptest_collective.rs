@@ -1,0 +1,85 @@
+//! Property-based tests of the collective cost model over the fabric.
+//!
+//! These pin the invariants the fleet scale sweep leans on: collective cost
+//! must grow with payload, shrink (or hold) as the fabric gets faster, and
+//! the ring `all_reduce` must decompose exactly into `reduce_scatter`
+//! followed by `all_gather` of the reduced shard.
+
+use proptest::prelude::*;
+use superchip_sim::prelude::*;
+use superchip_sim::topology::link_gbps;
+
+fn fabric(gbps: f64, latency_us: f64) -> Link {
+    link_gbps(LinkKind::Fabric, gbps, latency_us)
+}
+
+proptest! {
+    /// Cost is monotone (non-decreasing) in payload bytes for every
+    /// collective primitive.
+    #[test]
+    fn cost_monotone_in_bytes(
+        ranks in 1u32..64,
+        gbps in 1.0f64..500.0,
+        latency_us in 0.1f64..100.0,
+        small in 0u64..(1 << 32),
+        extra in 0u64..(1 << 32),
+    ) {
+        let coll = CollectiveCost::new(fabric(gbps, latency_us), ranks);
+        let large = small + extra;
+        prop_assert!(coll.all_reduce(small) <= coll.all_reduce(large));
+        prop_assert!(coll.all_gather(small) <= coll.all_gather(large));
+        prop_assert!(coll.reduce_scatter(small) <= coll.reduce_scatter(large));
+        prop_assert!(coll.all_to_all(small) <= coll.all_to_all(large));
+        prop_assert!(coll.broadcast(small) <= coll.broadcast(large));
+    }
+
+    /// Per-rank time never increases when the fabric gets faster (same
+    /// latency, higher bandwidth).
+    #[test]
+    fn cost_non_increasing_in_bandwidth(
+        ranks in 1u32..64,
+        gbps in 1.0f64..400.0,
+        boost in 0.0f64..400.0,
+        latency_us in 0.1f64..100.0,
+        bytes in 0u64..(1 << 34),
+    ) {
+        let slow = CollectiveCost::new(fabric(gbps, latency_us), ranks);
+        let fast = CollectiveCost::new(fabric(gbps + boost, latency_us), ranks);
+        prop_assert!(fast.all_reduce(bytes) <= slow.all_reduce(bytes));
+        prop_assert!(fast.all_gather(bytes) <= slow.all_gather(bytes));
+        prop_assert!(fast.reduce_scatter(bytes) <= slow.reduce_scatter(bytes));
+        prop_assert!(fast.all_to_all(bytes) <= slow.all_to_all(bytes));
+        prop_assert!(fast.broadcast(bytes) <= slow.broadcast(bytes));
+    }
+
+    /// Ring all-reduce is exactly reduce-scatter of the full buffer plus
+    /// all-gather of the reduced `total / ranks` shard — the decomposition
+    /// ZeRO relies on. Exact `SimTime` equality because both sides compute
+    /// `ring_steps(total / ranks)` twice over the same link.
+    #[test]
+    fn all_reduce_decomposes(
+        ranks in 1u32..64,
+        gbps in 1.0f64..500.0,
+        latency_us in 0.1f64..100.0,
+        shard in 0u64..(1 << 28),
+    ) {
+        let coll = CollectiveCost::new(fabric(gbps, latency_us), ranks);
+        // Pick `total` divisible by `ranks` so the shard size is exact.
+        let total = shard * ranks as u64;
+        let composed = coll.reduce_scatter(total) + coll.all_gather(total / ranks as u64);
+        prop_assert_eq!(coll.all_reduce(total), composed);
+    }
+
+    /// A single rank never communicates, whatever the fabric looks like.
+    #[test]
+    fn single_rank_is_free(
+        gbps in 1.0f64..500.0,
+        latency_us in 0.1f64..100.0,
+        bytes in 0u64..(1 << 40),
+    ) {
+        let coll = CollectiveCost::new(fabric(gbps, latency_us), 1);
+        prop_assert_eq!(coll.all_reduce(bytes), SimTime::ZERO);
+        prop_assert_eq!(coll.all_gather(bytes), SimTime::ZERO);
+        prop_assert_eq!(coll.broadcast(bytes), SimTime::ZERO);
+    }
+}

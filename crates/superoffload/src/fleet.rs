@@ -1,0 +1,269 @@
+//! Fleet-level resource leasing: per-node views over a multi-Superchip
+//! cluster.
+//!
+//! Schedule builders used to reach for ambient globals — `Capacity::of`
+//! (which bakes in `GPU_USABLE`/`CPU_USABLE`), `ClusterSpec::collective_link`
+//! (which panics on oversized spans), and `ScheduleCtx::standard()` (which
+//! registers bare resource names with no notion of which node owns them).
+//! That coupling is what ROADMAP item 5 calls the "one schedule, one node"
+//! assumption.
+//!
+//! This module replaces the globals with an explicit lease protocol:
+//!
+//! 1. [`FleetCtx::new`] wraps a [`ClusterSpec`] and knows the fleet shape
+//!    (node count, GPU endpoints on the fabric).
+//! 2. [`FleetCtx::lease`] hands out a [`NodeLease`] for one node — the only
+//!    door to that node's chip spec, usable-memory [`Capacity`], collective
+//!    handles over the fabric, and a node-namespaced [`ScheduleCtx`].
+//! 3. Builders construct their task graph against the lease. A collective
+//!    that cannot fit the fabric surfaces as
+//!    [`Infeasible::FabricCapacity`] instead of a panic.
+//!
+//! Node 0's lease yields a [`ScheduleCtx`] with exactly the bare
+//! [`crate::system::STANDARD_RESOURCES`] names, which keeps every
+//! single-node artifact (report, trace, JSON) byte-identical to the
+//! pre-fleet layout — the guardrail test in `bench` pins this.
+
+use superchip_sim::collective::CollectiveCost;
+use superchip_sim::prelude::*;
+
+use crate::system::{Capacity, Infeasible, ScheduleCtx};
+
+/// Fleet-level context over a cluster: the factory for [`NodeLease`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetCtx<'a> {
+    cluster: &'a ClusterSpec,
+}
+
+impl<'a> FleetCtx<'a> {
+    /// Wraps `cluster` as a leasable fleet.
+    pub fn new(cluster: &'a ClusterSpec) -> Self {
+        FleetCtx { cluster }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.cluster
+    }
+
+    /// Number of nodes in the fleet.
+    pub fn node_count(&self) -> u32 {
+        self.cluster.node_count
+    }
+
+    /// GPU endpoints the fabric connects (= Superchips across the fleet).
+    pub fn total_gpus(&self) -> u32 {
+        self.cluster.total_gpus()
+    }
+
+    /// Leases node `node`'s resources: its chip, memory capacities, link
+    /// endpoints, and a node-namespaced schedule context.
+    ///
+    /// # Errors
+    /// [`Infeasible::Parallelism`] when `node` is outside the fleet.
+    pub fn lease(&self, node: u32) -> Result<NodeLease<'a>, Infeasible> {
+        if node >= self.cluster.node_count {
+            return Err(Infeasible::Parallelism(format!(
+                "node {node} leased but fleet has {} nodes",
+                self.cluster.node_count
+            )));
+        }
+        Ok(NodeLease {
+            node,
+            chip: &self.cluster.node.chip,
+            cluster: Some(self.cluster),
+        })
+    }
+}
+
+/// A lease on one node's resources: the handle schedule builders construct
+/// their task graphs against instead of ambient globals.
+///
+/// Obtained from [`FleetCtx::lease`], or [`NodeLease::solo`] for the
+/// degenerate single-Superchip case (no fabric beyond the chip itself).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeLease<'a> {
+    node: u32,
+    chip: &'a ChipSpec,
+    /// `None` for a solo lease: one chip, no inter-node fabric.
+    cluster: Option<&'a ClusterSpec>,
+}
+
+impl<'a> NodeLease<'a> {
+    /// A lease over a lone Superchip outside any cluster — what the
+    /// single-chip SuperOffload schedule uses. Collectives beyond one rank
+    /// are a [`Infeasible::FabricCapacity`] because there is no fabric.
+    pub fn solo(chip: &'a ChipSpec) -> Self {
+        NodeLease {
+            node: 0,
+            chip,
+            cluster: None,
+        }
+    }
+
+    /// The node index this lease covers.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The leased node's Superchip.
+    pub fn chip(&self) -> &'a ChipSpec {
+        self.chip
+    }
+
+    /// GPU endpoints reachable over this lease's fabric (1 for a solo
+    /// lease).
+    pub fn fleet_gpus(&self) -> u32 {
+        self.cluster.map_or(1, |c| c.total_gpus())
+    }
+
+    /// Usable HBM/DDR capacities of the leased node, after the framework
+    /// and OS reservations.
+    pub fn capacity(&self) -> Capacity {
+        Capacity::of(self.chip)
+    }
+
+    /// Checks that a collective spanning `ranks` GPUs fits the fabric.
+    ///
+    /// # Errors
+    /// [`Infeasible::FabricCapacity`] when `ranks` is zero or exceeds the
+    /// fabric's GPU endpoints.
+    pub fn check_span(&self, ranks: u32) -> Result<(), Infeasible> {
+        if ranks == 0 || ranks > self.fleet_gpus() {
+            return Err(Infeasible::FabricCapacity {
+                ranks,
+                fleet_gpus: self.fleet_gpus(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A collective cost handle for `ranks` GPUs over the narrowest link
+    /// the collective must cross (intra-node if the span fits in one node,
+    /// the inter-node fabric otherwise).
+    ///
+    /// # Errors
+    /// [`Infeasible::FabricCapacity`] when the span does not fit the
+    /// fabric (see [`check_span`](NodeLease::check_span)).
+    pub fn collective(&self, ranks: u32) -> Result<CollectiveCost, Infeasible> {
+        self.collective_spanning(ranks, ranks)
+    }
+
+    /// A collective cost handle for `participants` ranks whose traffic
+    /// must cross the narrowest link of a `span`-GPU placement — e.g.
+    /// Megatron's data-parallel all-reduce, where `ranks / mp`
+    /// participants are spread across all `ranks` GPUs so the collective
+    /// crosses whatever link the full placement spans.
+    ///
+    /// # Errors
+    /// [`Infeasible::FabricCapacity`] when `span` does not fit the fabric
+    /// or `participants` is zero or exceeds `span`.
+    pub fn collective_spanning(
+        &self,
+        span: u32,
+        participants: u32,
+    ) -> Result<CollectiveCost, Infeasible> {
+        self.check_span(span)?;
+        if participants == 0 || participants > span {
+            return Err(Infeasible::FabricCapacity {
+                ranks: participants,
+                fleet_gpus: self.fleet_gpus(),
+            });
+        }
+        let link = match self.cluster {
+            Some(cluster) => {
+                *cluster
+                    .try_collective_link(span)
+                    .ok_or(Infeasible::FabricCapacity {
+                        ranks: span,
+                        fleet_gpus: self.fleet_gpus(),
+                    })?
+            }
+            // Solo lease: only span == 1 passes check_span, and a
+            // one-rank collective is free regardless of link, so the
+            // chip's remote link is a placeholder that never prices in.
+            None => self.chip.remote_link,
+        };
+        Ok(CollectiveCost::new(link, participants))
+    }
+
+    /// A schedule context whose standard resources live in this node's
+    /// namespace (bare names for node 0, `node<N>/`-prefixed otherwise).
+    pub fn ctx(&self) -> ScheduleCtx {
+        ScheduleCtx::for_node(self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superchip_sim::presets;
+
+    #[test]
+    fn lease_rejects_out_of_fleet_nodes() {
+        let cluster = presets::gh200_superchip_fleet(4);
+        let fleet = FleetCtx::new(&cluster);
+        assert_eq!(fleet.node_count(), 4);
+        assert!(fleet.lease(3).is_ok());
+        assert!(matches!(fleet.lease(4), Err(Infeasible::Parallelism(_))));
+    }
+
+    #[test]
+    fn collective_surfaces_fabric_capacity() {
+        let cluster = presets::gh200_superchip_fleet(4);
+        let fleet = FleetCtx::new(&cluster);
+        let lease = fleet.lease(0).unwrap();
+        assert!(lease.collective(4).is_ok());
+        assert!(matches!(
+            lease.collective(5),
+            Err(Infeasible::FabricCapacity {
+                ranks: 5,
+                fleet_gpus: 4
+            })
+        ));
+        assert!(matches!(
+            lease.collective(0),
+            Err(Infeasible::FabricCapacity { ranks: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn collective_picks_fabric_link_across_nodes() {
+        let cluster = presets::gh200_superchip_fleet(4);
+        let lease = FleetCtx::new(&cluster).lease(0).unwrap();
+        // Any multi-Superchip span crosses Slingshot in the fleet preset.
+        let coll = lease.collective(4).unwrap();
+        assert_eq!(coll.link().peak_bandwidth(), 25e9);
+        assert_eq!(coll.ranks(), 4);
+    }
+
+    #[test]
+    fn solo_lease_matches_legacy_capacity() {
+        let chip = presets::gh200_chip();
+        let lease = NodeLease::solo(&chip);
+        assert_eq!(lease.capacity(), Capacity::of(&chip));
+        assert_eq!(lease.fleet_gpus(), 1);
+        // One-rank collectives are free; more have no fabric to run on.
+        assert_eq!(
+            lease.collective(1).unwrap().all_reduce(1 << 30),
+            SimTime::ZERO
+        );
+        assert!(matches!(
+            lease.collective(2),
+            Err(Infeasible::FabricCapacity {
+                ranks: 2,
+                fleet_gpus: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn node_namespaced_ctx_prefixes_resources() {
+        let cluster = presets::gh200_superchip_fleet(2);
+        let fleet = FleetCtx::new(&cluster);
+        let ctx0 = fleet.lease(0).unwrap().ctx();
+        let ctx1 = fleet.lease(1).unwrap().ctx();
+        assert_eq!(ctx0.sim.resource_name(ctx0.gpu), Some("gpu"));
+        assert_eq!(ctx1.sim.resource_name(ctx1.gpu), Some("node1/gpu"));
+    }
+}

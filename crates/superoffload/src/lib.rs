@@ -7,8 +7,10 @@
 //!   (and its ablations) as task graphs on the [`superchip_sim`] simulator:
 //!   [`schedule`] (single Superchip), [`zero_dp`] (multi-Superchip ZeRO-3
 //!   integration), and [`ulysses`] (SuperOffload-Ulysses sequence
-//!   parallelism). The paper's throughput, scale, and utilization results
-//!   are regenerated from these.
+//!   parallelism). Builders acquire node resources (capacity, links,
+//!   collectives, schedule contexts) through [`fleet`] leases rather than
+//!   ambient globals. The paper's throughput, scale, and utilization
+//!   results are regenerated from these.
 //! - **Numeric plane** — [`engine`], a real multi-threaded
 //!   speculation-then-validation training executor over the miniature GPT of
 //!   [`llm_model`], demonstrating that STV is an *exact* optimization
@@ -36,6 +38,7 @@ pub mod checkpoint;
 pub mod costs;
 pub mod engine;
 pub mod engine_dp;
+pub mod fleet;
 pub mod numa;
 pub mod policy;
 pub mod report;
@@ -53,6 +56,7 @@ pub use checkpoint::Checkpoint;
 pub use costs::OptimizerImpl;
 pub use engine::{EngineSpans, SpanStats, StvEngine, StvStats, SyncEngine};
 pub use engine_dp::{DpStvEngine, DpSyncEngine};
+pub use fleet::{FleetCtx, NodeLease};
 pub use policy::WeightPolicy;
 pub use report::{RunProfile, TrainReport};
 pub use schedule::{simulate_single_chip, simulate_single_chip_profiled, SuperOffloadOptions};

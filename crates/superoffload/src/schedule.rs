@@ -27,9 +27,10 @@ use crate::casting::CastPlacement;
 use crate::costs::{
     gpu_optimizer_time, pipeline_step_time, ComputeTimes, OptimizerImpl, OP_OVERHEAD_TUNED,
 };
+use crate::fleet::NodeLease;
 use crate::policy::{choose_policy, WeightPolicy};
 use crate::report::{RunProfile, TrainReport};
-use crate::system::{Capacity, Infeasible, IterationBuilder, ScheduleCtx};
+use crate::system::{Infeasible, IterationBuilder};
 
 /// Fraction of GPU memory usable for model data (the rest is CUDA context,
 /// fragmentation, and framework workspace).
@@ -251,7 +252,8 @@ fn simulate_fixed(
     let plan_buckets = BucketPlan::new(params, opts.bucket_bytes, retained);
 
     // --- Memory planning -------------------------------------------------
-    let cap = Capacity::of(chip);
+    let lease = NodeLease::solo(chip);
+    let cap = lease.capacity();
 
     // Staging: double-buffered gradient-out and param-in buckets (FP32).
     let staging = 4 * opts.bucket_bytes;
@@ -285,7 +287,7 @@ fn simulate_fixed(
     let overhead = SimTime::from_secs(opts.op_overhead_secs);
 
     // --- Task graph -------------------------------------------------------
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     let cpu_val = ctx.add_resource(SINGLE_CHIP_RESOURCES[5]);
     let (hbm, ddr) = ctx.plan_residency(chip, gpu_resident, cpu_resident);
 

@@ -82,6 +82,16 @@ pub enum Infeasible {
     /// The requested parallelism degree is invalid for the cluster or model
     /// (e.g. more pipeline stages than layers).
     Parallelism(String),
+    /// A collective must span more ranks than the inter-node fabric
+    /// connects, so its traffic has no link to run over (reported by
+    /// [`crate::fleet::NodeLease::collective`] instead of panicking in
+    /// `ClusterSpec::collective_link`).
+    FabricCapacity {
+        /// Ranks the collective must span.
+        ranks: u32,
+        /// GPU endpoints the fleet's fabric actually connects.
+        fleet_gpus: u32,
+    },
     /// The task-graph simulation itself failed.
     Sim(SimError),
 }
@@ -121,6 +131,11 @@ impl fmt::Display for Infeasible {
                 gib(*activation_budget)
             ),
             Infeasible::Parallelism(why) => write!(f, "invalid parallelism: {why}"),
+            Infeasible::FabricCapacity { ranks, fleet_gpus } => write!(
+                f,
+                "collective spans {ranks} ranks but the fabric connects only \
+                 {fleet_gpus} GPU endpoints"
+            ),
             Infeasible::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
@@ -394,14 +409,23 @@ pub struct ScheduleCtx {
 }
 
 impl ScheduleCtx {
-    /// A fresh context with the five [`STANDARD_RESOURCES`] registered.
+    /// A fresh context with the five [`STANDARD_RESOURCES`] registered in
+    /// node 0's (bare-name) namespace.
     pub fn standard() -> Self {
+        ScheduleCtx::for_node(0)
+    }
+
+    /// A fresh context whose five [`STANDARD_RESOURCES`] live in node
+    /// `node`'s namespace. Node 0 keeps the bare names, so single-node
+    /// schedules produce byte-identical traces and reports to the
+    /// pre-fleet layout; nodes 1+ get `node<N>/`-prefixed resources.
+    pub fn for_node(node: u32) -> Self {
         let mut sim = Simulator::new();
-        let gpu = sim.add_resource(STANDARD_RESOURCES[0]);
-        let cpu = sim.add_resource(STANDARD_RESOURCES[1]);
-        let d2h = sim.add_resource(STANDARD_RESOURCES[2]);
-        let h2d = sim.add_resource(STANDARD_RESOURCES[3]);
-        let net = sim.add_resource(STANDARD_RESOURCES[4]);
+        let gpu = sim.add_node_resource(node, STANDARD_RESOURCES[0]);
+        let cpu = sim.add_node_resource(node, STANDARD_RESOURCES[1]);
+        let d2h = sim.add_node_resource(node, STANDARD_RESOURCES[2]);
+        let h2d = sim.add_node_resource(node, STANDARD_RESOURCES[3]);
+        let net = sim.add_node_resource(node, STANDARD_RESOURCES[4]);
         ScheduleCtx {
             sim,
             gpu,
@@ -807,6 +831,13 @@ mod tests {
             activation_budget: 1 << 30,
         };
         assert!(p.to_string().contains("activation budget"));
+        let fc = Infeasible::FabricCapacity {
+            ranks: 16,
+            fleet_gpus: 4,
+        };
+        let msg = fc.to_string();
+        assert!(msg.contains("16 ranks"), "got: {msg}");
+        assert!(msg.contains("4 GPU endpoints"), "got: {msg}");
     }
 
     #[test]

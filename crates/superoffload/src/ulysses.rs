@@ -12,14 +12,14 @@ use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
 use llm_model::ModelConfig;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use crate::casting::CastPlacement;
 use crate::costs::{pipeline_step_time, ComputeTimes, OptimizerImpl};
+use crate::fleet::FleetCtx;
 use crate::report::TrainReport;
 use crate::schedule::SuperOffloadOptions;
-use crate::system::{Capacity, Infeasible, IterationBuilder, ScheduleCtx};
+use crate::system::{Infeasible, IterationBuilder};
 
 /// Which long-sequence system to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,18 +70,18 @@ pub fn simulate_ulysses_traced(
     system: SequenceSystem,
     opts: &SuperOffloadOptions,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = config.param_count();
     let states = ModelStateMemory::for_params(params);
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     // Each rank holds seq/ranks tokens.
     let local_seq = (seq / ranks as u64).max(1);
     let local_wl = Workload::new(config.clone(), 1, local_seq);
 
     // --- Memory ------------------------------------------------------------
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
     let staging = 4 * opts.bucket_bytes;
 
     let (gpu_resident, cpu_resident) = match system {
@@ -135,7 +135,7 @@ pub fn simulate_ulysses_traced(
     let shard = params / ranks as u64;
 
     // --- Graph ---------------------------------------------------------------
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 
     let mut iters = IterationBuilder::new();

@@ -18,25 +18,23 @@
 use llm_model::flops::TrainingFlops;
 use llm_model::memory::ModelStateMemory;
 use llm_model::workload::Workload;
-use superchip_sim::collective::CollectiveCost;
 use superchip_sim::prelude::*;
 
 use crate::bucket::BucketPlan;
 use crate::casting::CastPlacement;
 use crate::costs::{gpu_optimizer_time, pipeline_step_time, ComputeTimes};
+use crate::fleet::FleetCtx;
 use crate::report::TrainReport;
 use crate::schedule::SuperOffloadOptions;
-use crate::system::{split_batch, Capacity, Infeasible, IterationBuilder, ScheduleCtx};
+use crate::system::{split_batch, Infeasible, IterationBuilder};
 
 /// Simulates SuperOffload + ZeRO-DP across `ranks` Superchips of `cluster`.
 ///
 /// `workload.global_batch` is the global batch; it is divided evenly across
 /// ranks (must divide). The report is per-GPU (as in Fig. 11). Returns
-/// [`TrainReport::oom`] on any infeasibility; [`simulate_cluster_traced`]
-/// reports the structured reason instead.
-///
-/// # Panics
-/// Panics if `ranks` is zero or exceeds the cluster.
+/// [`TrainReport::oom`] on any infeasibility (including a `ranks` span the
+/// fabric cannot connect); [`simulate_cluster_traced`] reports the
+/// structured reason instead.
 pub fn simulate_cluster(
     cluster: &ClusterSpec,
     ranks: u32,
@@ -50,31 +48,28 @@ pub fn simulate_cluster(
 }
 
 /// Like [`simulate_cluster`], additionally returning the execution trace,
-/// or the structured [`Infeasible`] reason (capacity, batch divisibility,
-/// no execution plan) when the workload cannot run.
-///
-/// # Panics
-/// Panics if `ranks` is zero or exceeds the cluster.
+/// or the structured [`Infeasible`] reason (capacity, fabric span, batch
+/// divisibility, no execution plan) when the workload cannot run.
 pub fn simulate_cluster_traced(
     cluster: &ClusterSpec,
     ranks: u32,
     workload: &Workload,
     opts: &SuperOffloadOptions,
 ) -> Result<(TrainReport, Trace), Infeasible> {
-    assert!(ranks >= 1 && ranks <= cluster.total_gpus());
     let system = "superoffload";
-    let chip = &cluster.node.chip;
+    let lease = FleetCtx::new(cluster).lease(0)?;
+    let chip = lease.chip();
+    let coll = lease.collective(ranks)?;
     let params = workload.config.param_count();
     let states = ModelStateMemory::for_params(params);
     let shard_elems = params / ranks as u64;
-    let coll = CollectiveCost::new(*cluster.collective_link(ranks), ranks);
 
     // Per-rank workload.
     let rank_wl = split_batch(workload, ranks)?;
     let rank_batch = rank_wl.global_batch;
 
     // --- Memory planning (per rank) --------------------------------------
-    let cap = Capacity::of(chip);
+    let cap = lease.capacity();
 
     let cast = opts
         .cast
@@ -126,7 +121,7 @@ pub fn simulate_cluster_traced(
     let allgather = coll.all_gather(states.fp16_params / ranks as u64);
 
     // --- Task graph (rank-0 perspective; ranks are symmetric) ------------
-    let mut ctx = ScheduleCtx::standard();
+    let mut ctx = lease.ctx();
     ctx.plan_residency(chip, gpu_resident + plan.activation_bytes, cpu_resident);
 
     let micro = plan.micro_steps();
